@@ -1,0 +1,253 @@
+// Benchmarks regenerating the paper's evaluation (Section 6.3): one
+// benchmark per Figure 9 bar pair (domain × query family) and per Figure 10
+// sweep point, plus micro-benchmarks for the substrates (SMT entailment,
+// interpretation, pairwise consolidation).
+//
+// Figure 9/10 benchmarks report, via custom metrics:
+//
+//	udf-speedup    whereMany UDF time / whereConsolidated UDF time
+//	cost-speedup   the same ratio in engine-independent cost units
+//	total-speedup  total job time incl. consolidation
+//	consolidate-ms compile time for the UDF batch
+//
+// Dataset scales are small (speedups are per-record ratios and do not
+// depend on dataset size); cmd/figure9 and cmd/figure10 run larger
+// configurations.
+package consolidation_test
+
+import (
+	"testing"
+
+	"consolidation"
+	"consolidation/internal/bench"
+	"consolidation/internal/consolidate"
+	"consolidation/internal/engine"
+	"consolidation/internal/lang"
+	"consolidation/internal/logic"
+	"consolidation/internal/queries"
+	"consolidation/internal/smt"
+)
+
+func benchFigure9(b *testing.B, domain, family string) {
+	b.ReportAllocs()
+	var last *bench.Outcome
+	for i := 0; i < b.N; i++ {
+		o, err := bench.Run(bench.Config{
+			Domain: domain, Family: family, NumUDFs: 20, Scale: 0.01, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !o.Agree {
+			b.Fatal("operators disagree")
+		}
+		last = o
+	}
+	b.ReportMetric(last.UDFSpeedup(), "udf-speedup")
+	b.ReportMetric(last.CostSpeedup(), "cost-speedup")
+	b.ReportMetric(last.TotalSpeedup(), "total-speedup")
+	b.ReportMetric(float64(last.Consolidate.Milliseconds()), "consolidate-ms")
+}
+
+// Figure 9 — Weather.
+func BenchmarkFigure9WeatherQ1(b *testing.B)  { benchFigure9(b, "weather", "Q1") }
+func BenchmarkFigure9WeatherQ2(b *testing.B)  { benchFigure9(b, "weather", "Q2") }
+func BenchmarkFigure9WeatherQ3(b *testing.B)  { benchFigure9(b, "weather", "Q3") }
+func BenchmarkFigure9WeatherQ4(b *testing.B)  { benchFigure9(b, "weather", "Q4") }
+func BenchmarkFigure9WeatherMix(b *testing.B) { benchFigure9(b, "weather", "Mix") }
+
+// Figure 9 — Flight.
+func BenchmarkFigure9FlightQ1(b *testing.B)  { benchFigure9(b, "flight", "Q1") }
+func BenchmarkFigure9FlightQ2(b *testing.B)  { benchFigure9(b, "flight", "Q2") }
+func BenchmarkFigure9FlightQ3(b *testing.B)  { benchFigure9(b, "flight", "Q3") }
+func BenchmarkFigure9FlightMix(b *testing.B) { benchFigure9(b, "flight", "Mix") }
+
+// Figure 9 — News.
+func BenchmarkFigure9NewsQ1(b *testing.B) { benchFigure9(b, "news", "Q1") }
+func BenchmarkFigure9NewsQ2(b *testing.B) { benchFigure9(b, "news", "Q2") }
+func BenchmarkFigure9NewsQ3(b *testing.B) { benchFigure9(b, "news", "Q3") }
+func BenchmarkFigure9NewsBC(b *testing.B) { benchFigure9(b, "news", "BC") }
+
+// Figure 9 — Twitter.
+func BenchmarkFigure9TwitterQ1(b *testing.B) { benchFigure9(b, "twitter", "Q1") }
+func BenchmarkFigure9TwitterQ2(b *testing.B) { benchFigure9(b, "twitter", "Q2") }
+func BenchmarkFigure9TwitterQ3(b *testing.B) { benchFigure9(b, "twitter", "Q3") }
+func BenchmarkFigure9TwitterBC(b *testing.B) { benchFigure9(b, "twitter", "BC") }
+
+// Figure 9 — Stock.
+func BenchmarkFigure9StockQ1(b *testing.B) { benchFigure9(b, "stock", "Q1") }
+func BenchmarkFigure9StockQ2(b *testing.B) { benchFigure9(b, "stock", "Q2") }
+func BenchmarkFigure9StockQ3(b *testing.B) { benchFigure9(b, "stock", "Q3") }
+func BenchmarkFigure9StockBC(b *testing.B) { benchFigure9(b, "stock", "BC") }
+
+// Figure 10 — scalability with the number of UDFs (News Mix workload).
+func benchFigure10(b *testing.B, n int) {
+	var last *bench.Outcome
+	for i := 0; i < b.N; i++ {
+		o, err := bench.Run(bench.Config{
+			Domain: "news", Family: "Mix", NumUDFs: n, Scale: 0.005, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !o.Agree {
+			b.Fatal("operators disagree")
+		}
+		last = o
+	}
+	b.ReportMetric(float64(last.ManyUDFTime.Microseconds()), "many-udf-µs")
+	b.ReportMetric(float64(last.ConsUDFTime.Microseconds()), "cons-udf-µs")
+	b.ReportMetric(float64(last.Consolidate.Milliseconds()), "consolidate-ms")
+}
+
+func BenchmarkFigure10N10(b *testing.B)  { benchFigure10(b, 10) }
+func BenchmarkFigure10N25(b *testing.B)  { benchFigure10(b, 25) }
+func BenchmarkFigure10N50(b *testing.B)  { benchFigure10(b, 50) }
+func BenchmarkFigure10N100(b *testing.B) { benchFigure10(b, 100) }
+
+// BenchmarkConsolidate50UDFs measures consolidation (compile) time alone
+// for a 50-UDF batch — the paper reports ≈0.3 s with sub-second behaviour
+// up to 300 UDFs.
+func BenchmarkConsolidate50UDFs(b *testing.B) {
+	progs := queries.MustGen("weather", "Mix", 50, 7)
+	opts := consolidate.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := consolidate.All(progs, opts, true, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConsolidatePair measures one pairwise merge of the paper's
+// Section 2 example.
+func BenchmarkConsolidatePair(b *testing.B) {
+	f1 := consolidation.MustParse(`
+func f1(fi) {
+  name := airlineName(fi);
+  if (name == 1) { notify 1 true; } else { notify 1 (name == 2); }
+}`)
+	f2 := consolidation.MustParse(`
+func f2(fi) {
+  if (price(fi) >= 200) { notify 2 false; }
+  else { notify 2 (airlineName(fi) == 1); }
+}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := consolidation.Consolidate(f1, f2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSMTEntailment measures the solver on a representative
+// consolidation query (memoization with arithmetic).
+func BenchmarkSMTEntailment(b *testing.B) {
+	hyp := logic.And(
+		logic.EqT(logic.V("x"), logic.TApp{Func: "f", Args: []logic.Term{logic.V("a")}}),
+		logic.EqT(logic.V("y"), logic.TBin{Op: logic.Add, L: logic.V("x"), R: logic.Num(1)}),
+		logic.Atom(logic.Lt, logic.Num(0), logic.V("a")),
+	)
+	goal := logic.EqT(
+		logic.TBin{Op: logic.Sub, L: logic.V("y"), R: logic.Num(1)},
+		logic.TApp{Func: "f", Args: []logic.Term{logic.V("a")}},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := smt.New() // fresh solver: no cache, measure raw solving
+		if !s.Entails(hyp, goal) {
+			b.Fatal("entailment should hold")
+		}
+	}
+}
+
+// BenchmarkInterpreter measures raw UDF evaluation throughput.
+func BenchmarkInterpreter(b *testing.B) {
+	p := lang.MustParse(`
+func q(r) {
+  n := 12;
+  i := 0;
+  s := 0;
+  while (i < n) { s := s + f(r, i); i := i + 1; }
+  notify 1 (s > 100);
+}`)
+	lib := &lang.MapLibrary{}
+	lib.Define("f", 10, func(a []int64) (int64, error) { return a[0] + a[1], nil })
+	in := lang.NewInterp(lib)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Run(p, []int64{int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse measures parser throughput on generated query text.
+func BenchmarkParse(b *testing.B) {
+	progs := queries.MustGen("stock", "Q3", 1, 3)
+	src := lang.Format(progs[0])
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lang.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablations: the design choices DESIGN.md calls out ----
+
+// ablationOutcome consolidates a weather mix and evaluates the merged
+// program's cost on the dataset, under the given options.
+func ablationOutcome(b *testing.B, opts consolidate.Options) (int64, int) {
+	b.Helper()
+	ds, err := bench.Dataset("weather", 0.01, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if opts.FuncCoster == nil {
+		opts.FuncCoster = ds
+	}
+	udfs := queries.MustGen("weather", "Mix", 20, 5)
+	cons, err := engine.WhereConsolidated(ds, udfs, opts, engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cons.UDFCost, cons.Multi.OutputSize
+}
+
+// BenchmarkAblationDCE compares consolidation with and without the
+// dead-store elimination extension: same selected records, lower cost and
+// smaller programs with DCE on.
+func BenchmarkAblationDCE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := consolidate.DefaultOptions()
+		costOn, sizeOn := ablationOutcome(b, on)
+		off := consolidate.DefaultOptions()
+		off.NoDCE = true
+		costOff, sizeOff := ablationOutcome(b, off)
+		if costOn > costOff {
+			b.Fatalf("DCE increased cost: %d > %d", costOn, costOff)
+		}
+		b.ReportMetric(float64(costOff)/float64(costOn), "cost-ratio-off/on")
+		b.ReportMetric(float64(sizeOff)/float64(sizeOn), "size-ratio-off/on")
+	}
+}
+
+// BenchmarkAblationEmbedding compares the paper's cross-embedding (If 3/4)
+// against If 5 only (MaxEmbedSize too small to ever embed): embedding costs
+// program size but buys redundant-test elimination.
+func BenchmarkAblationEmbedding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := consolidate.DefaultOptions()
+		costFull, sizeFull := ablationOutcome(b, full)
+		none := consolidate.DefaultOptions()
+		none.MaxEmbedSize = 1
+		costNone, sizeNone := ablationOutcome(b, none)
+		if costFull > costNone {
+			b.Fatalf("embedding made execution costlier: %d > %d", costFull, costNone)
+		}
+		b.ReportMetric(float64(costNone)/float64(costFull), "cost-ratio-noembed/embed")
+		b.ReportMetric(float64(sizeFull)/float64(sizeNone), "size-ratio-embed/noembed")
+	}
+}

@@ -1,0 +1,74 @@
+// Command figure10 regenerates Figure 10 of the paper: scalability with
+// the number of UDFs on mixes of query families in the News domain, as in
+// the paper's Section 6.3. It sweeps the
+// query count and prints five series — whereMany UDF and total time,
+// whereConsolidated UDF and total time, and consolidation time — the same
+// series the paper plots on a log-scale y axis.
+//
+// Usage:
+//
+//	figure10 [-counts 10,25,50,100,150,200,250,300] [-scale 0.02]
+//	         [-seed 1] [-workers 0]
+//
+// The expected shape: whereMany grows roughly linearly with the number of
+// UDFs while whereConsolidated stays roughly flat, and consolidation time
+// stays a small fraction of job time throughout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"consolidation/internal/bench"
+)
+
+var (
+	flagCounts  = flag.String("counts", "10,25,50,100,150,200,250,300", "comma-separated UDF counts")
+	flagScale   = flag.Float64("scale", 0.02, "dataset scale relative to the paper's size")
+	flagSeed    = flag.Int64("seed", 1, "workload seed")
+	flagWorkers = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+)
+
+func main() {
+	flag.Parse()
+	var counts []int
+	for _, tok := range strings.Split(*flagCounts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "figure10: bad count %q\n", tok)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+
+	fmt.Println("Figure 10 — scalability with the number of UDFs (News Mix workload)")
+	fmt.Printf("(dataset scale %.2f, seed %d)\n\n", *flagScale, *flagSeed)
+	fmt.Printf("%6s  %14s %14s  %14s %14s  %14s\n",
+		"UDFs", "many-UDF", "many-total", "cons-UDF", "cons-total", "consolidation")
+
+	for _, n := range counts {
+		o, err := bench.Run(bench.Config{
+			Domain: "news", Family: "Mix", NumUDFs: n,
+			Scale: *flagScale, Seed: *flagSeed, Workers: *flagWorkers,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure10: n=%d: %v\n", n, err)
+			os.Exit(1)
+		}
+		if !o.Agree {
+			fmt.Fprintf(os.Stderr, "figure10: n=%d: operators disagree\n", n)
+			os.Exit(1)
+		}
+		fmt.Printf("%6d  %14s %14s  %14s %14s  %14s\n",
+			n,
+			rnd(o.ManyUDFTime), rnd(o.ManyTotal),
+			rnd(o.ConsUDFTime), rnd(o.ConsTotal),
+			rnd(o.Consolidate))
+	}
+}
+
+func rnd(d time.Duration) string { return d.Round(100 * time.Microsecond).String() }

@@ -1,0 +1,106 @@
+// Command figure9 regenerates Figure 9 of the paper: for every domain and
+// query family, the speedup of whereConsolidated over whereMany, split into
+// UDF-execution speedup (the paper's dark bars) and total-job speedup
+// including consolidation time (the light bars).
+//
+// Usage:
+//
+//	figure9 [-domain weather|flight|news|twitter|stock|all]
+//	        [-n 50] [-scale 0.05] [-seed 1] [-workers 0]
+//
+// Scale 1.0 reproduces the paper's full dataset sizes (slow under the tree-
+// walking interpreter); the default 0.05 preserves the speedup shape, which
+// is per-record and therefore size-independent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"consolidation/internal/bench"
+	"consolidation/internal/queries"
+)
+
+var (
+	flagDomain  = flag.String("domain", "all", "domain to run, or 'all'")
+	flagN       = flag.Int("n", 50, "UDFs per family (paper: 50)")
+	flagScale   = flag.Float64("scale", 0.05, "dataset scale relative to the paper's size")
+	flagSeed    = flag.Int64("seed", 1, "workload seed")
+	flagWorkers = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+)
+
+func main() {
+	flag.Parse()
+	doms := queries.Domains()
+	if *flagDomain != "all" {
+		doms = []string{*flagDomain}
+	}
+	fmt.Println("Figure 9 — speedup of whereConsolidated over whereMany")
+	fmt.Printf("(%d UDFs per family, dataset scale %.2f, seed %d)\n\n", *flagN, *flagScale, *flagSeed)
+	fmt.Println(bench.Header())
+
+	var udfSpeedups, totalSpeedups []float64
+	var consTimes []time.Duration
+	var consFrac []float64
+	for _, d := range doms {
+		for _, f := range queries.Families(d) {
+			o, err := bench.Run(bench.Config{
+				Domain: d, Family: f, NumUDFs: *flagN,
+				Scale: *flagScale, Seed: *flagSeed, Workers: *flagWorkers,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure9: %s/%s: %v\n", d, f, err)
+				os.Exit(1)
+			}
+			fmt.Println(o.Row())
+			if !o.Agree {
+				fmt.Fprintf(os.Stderr, "figure9: %s/%s: operators disagree\n", d, f)
+				os.Exit(1)
+			}
+			udfSpeedups = append(udfSpeedups, o.UDFSpeedup())
+			totalSpeedups = append(totalSpeedups, o.TotalSpeedup())
+			consTimes = append(consTimes, o.Consolidate)
+			total := o.ConsTotal + o.Consolidate
+			if total > 0 {
+				consFrac = append(consFrac, float64(o.Consolidate)/float64(total)*100)
+			}
+		}
+	}
+
+	// The paper's in-text summary numbers (Section 6.3): UDF speedups
+	// 2.6–24.2x (avg 8.4x); total 1.4–23.1x (avg 6.0x); consolidation
+	// ≈0.3 s for 50 UDFs, ≈0.4 % of total query execution time.
+	fmt.Println("\nsummary (paper reference in parentheses):")
+	lo, hi, avg := stats(udfSpeedups)
+	fmt.Printf("  UDF speedup    %5.1fx – %5.1fx, avg %5.1fx   (paper: 2.6x – 24.2x, avg 8.4x)\n", lo, hi, avg)
+	lo, hi, avg = stats(totalSpeedups)
+	fmt.Printf("  total speedup  %5.1fx – %5.1fx, avg %5.1fx   (paper: 1.4x – 23.1x, avg 6.0x)\n", lo, hi, avg)
+	var consAvg time.Duration
+	for _, c := range consTimes {
+		consAvg += c
+	}
+	consAvg /= time.Duration(len(consTimes))
+	_, _, fr := stats(consFrac)
+	fmt.Printf("  consolidation  avg %s per %d UDFs, %.1f%% of total   (paper: ≈0.3 s, 0.4%%)\n",
+		consAvg.Round(time.Millisecond), *flagN, fr)
+}
+
+func stats(xs []float64) (lo, hi, avg float64) {
+	if len(xs) == 0 {
+		return
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+		avg += x
+	}
+	avg /= float64(len(xs))
+	return
+}

@@ -1,0 +1,96 @@
+// Command latency runs the latency extension experiment motivated by the
+// paper's Section 8: program consolidation optimises overall completion
+// time, and because results are broadcast as soon as they are computed
+// (the notify primitive), per-query latency usually improves too — but not
+// uniformly: a query that ran first under sequential execution may now
+// wait for shared computation scheduled before its notification.
+//
+// The tool prints, for each query position, the mean notification latency
+// (in abstract cost units per record) under whereMany and under
+// whereConsolidated.
+//
+// Usage:
+//
+//	latency [-domain twitter] [-family Q2] [-n 10] [-scale 0.02] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"consolidation/internal/bench"
+	"consolidation/internal/consolidate"
+	"consolidation/internal/engine"
+	"consolidation/internal/queries"
+)
+
+var (
+	flagDomain = flag.String("domain", "twitter", "dataset domain")
+	flagFamily = flag.String("family", "Q2", "query family")
+	flagN      = flag.Int("n", 10, "number of queries")
+	flagScale  = flag.Float64("scale", 0.02, "dataset scale")
+	flagSeed   = flag.Int64("seed", 1, "workload seed")
+)
+
+func main() {
+	flag.Parse()
+	ds, err := bench.Dataset(*flagDomain, *flagScale, *flagSeed)
+	if err != nil {
+		fatal(err)
+	}
+	udfs, err := queries.Gen(*flagDomain, *flagFamily, *flagN, 100+*flagSeed)
+	if err != nil {
+		fatal(err)
+	}
+	many, err := engine.WhereMany(ds, udfs, engine.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	copts := consolidate.DefaultOptions()
+	copts.FuncCoster = ds
+	cons, err := engine.WhereConsolidated(ds, udfs, copts, engine.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if !engine.SameResults(many, &cons.Result) {
+		fatal(fmt.Errorf("operators disagree"))
+	}
+
+	fmt.Printf("mean notification latency per record (cost units), %s/%s, %d queries\n\n",
+		*flagDomain, *flagFamily, *flagN)
+	fmt.Printf("%6s %14s %16s %9s\n", "query", "whereMany", "whereConsolidated", "ratio")
+	var worse int
+	for q := 0; q < *flagN; q++ {
+		m := many.MeanLatency(q)
+		c := cons.MeanLatency(q)
+		ratio := 0.0
+		if c > 0 {
+			ratio = m / c
+		}
+		mark := ""
+		if c > m {
+			mark = "  (slower)"
+			worse++
+		}
+		fmt.Printf("%6d %14.1f %16.1f %8.1fx%s\n", q, m, c, ratio, mark)
+	}
+	fmt.Printf("\nqueries with increased latency: %d of %d\n", worse, *flagN)
+	fmt.Println("completion (max over queries):",
+		fmt.Sprintf("whereMany %.1f, whereConsolidated %.1f", maxLat(&many.Metrics), maxLat(&cons.Metrics)))
+}
+
+func maxLat(m *engine.Metrics) float64 {
+	best := 0.0
+	for q := 0; q < m.UDFs; q++ {
+		if l := m.MeanLatency(q); l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "latency:", err)
+	os.Exit(1)
+}

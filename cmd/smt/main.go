@@ -1,0 +1,40 @@
+// Command smt is an SMT-LIB v2 front end for the repository's QF_UFLIA
+// solver — the same solver that discharges the consolidation calculus's
+// entailment queries. Useful for debugging a consolidation decision by
+// replaying its query by hand.
+//
+// Usage:
+//
+//	smt file.smt2         execute a script
+//	smt -                 read a script from stdin
+//	echo '(check-sat)' | smt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"consolidation/internal/smtlib"
+)
+
+func main() {
+	var src []byte
+	var err error
+	switch {
+	case len(os.Args) < 2 || os.Args[1] == "-":
+		src, err = io.ReadAll(os.Stdin)
+	default:
+		src, err = os.ReadFile(os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smt:", err)
+		os.Exit(1)
+	}
+	out, rerr := smtlib.New().Run(string(src))
+	fmt.Print(out)
+	if rerr != nil {
+		fmt.Fprintln(os.Stderr, "smt:", rerr)
+		os.Exit(1)
+	}
+}

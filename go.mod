@@ -1,0 +1,3 @@
+module consolidation
+
+go 1.22

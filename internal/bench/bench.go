@@ -1,0 +1,203 @@
+// Package bench is the experiment harness behind Figures 9 and 10: it
+// generates a query family, executes it with both the whereMany and the
+// whereConsolidated operators over the same dataset, validates that the two
+// select exactly the same records, and reports the UDF-level and total
+// speedups the paper plots.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"consolidation/internal/consolidate"
+	"consolidation/internal/data"
+	"consolidation/internal/engine"
+	"consolidation/internal/queries"
+	"consolidation/internal/smt"
+)
+
+// Config describes one experiment (one pair of bars in Figure 9, or one
+// point on Figure 10's x-axis).
+type Config struct {
+	Domain string
+	Family string
+	// NumUDFs is the number of queries to consolidate; the paper uses 50
+	// for Figure 9 and sweeps 10..300 for Figure 10.
+	NumUDFs int
+	// Scale shrinks the dataset relative to the paper's full size (1.0);
+	// speedups are size-independent, so benchmarks default to small scales.
+	Scale float64
+	Seed  int64
+	// Workers for the engine; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Outcome is one experiment's measurements.
+type Outcome struct {
+	Config
+	Records int
+
+	ManyUDFCost int64
+	ConsUDFCost int64
+	ManyUDFTime time.Duration
+	ConsUDFTime time.Duration
+	ManyTotal   time.Duration
+	ConsTotal   time.Duration // execution only
+	Consolidate time.Duration // compile time
+	MergedSize  int
+	SMTQueries  int
+
+	// ManyMeanLatency / ConsMeanLatency are the mean notification
+	// latencies (cost units, averaged over queries and records) under each
+	// operator — the Section 8 latency measurement.
+	ManyMeanLatency float64
+	ConsMeanLatency float64
+
+	// Agree is true when both operators selected identical records.
+	Agree bool
+}
+
+// UDFSpeedup is the paper's dark bar: UDF execution time ratio.
+func (o *Outcome) UDFSpeedup() float64 {
+	if o.ConsUDFTime <= 0 {
+		return 0
+	}
+	return float64(o.ManyUDFTime) / float64(o.ConsUDFTime)
+}
+
+// CostSpeedup is the engine-independent ratio of abstract UDF costs.
+func (o *Outcome) CostSpeedup() float64 {
+	if o.ConsUDFCost <= 0 {
+		return 0
+	}
+	return float64(o.ManyUDFCost) / float64(o.ConsUDFCost)
+}
+
+// TotalSpeedup is the paper's light bar: total job time including
+// consolidation.
+func (o *Outcome) TotalSpeedup() float64 {
+	den := o.ConsTotal + o.Consolidate
+	if den <= 0 {
+		return 0
+	}
+	return float64(o.ManyTotal) / float64(den)
+}
+
+// Dataset instantiates a domain's dataset at the given scale of the
+// paper's full size.
+func Dataset(domain string, scale float64, seed int64) (engine.RecordLibrary, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	scaleN := func(n int, min int) int {
+		v := int(float64(n) * scale)
+		if v < min {
+			v = min
+		}
+		return v
+	}
+	switch domain {
+	case "weather":
+		cfg := data.DefaultWeatherConfig()
+		cfg.Cities = scaleN(cfg.Cities, 10)
+		cfg.Seed += seed
+		return data.GenWeather(cfg), nil
+	case "flight":
+		cfg := data.DefaultFlightConfig()
+		cfg.Airlines = scaleN(cfg.Airlines, 10)
+		cfg.Seed += seed
+		return data.GenFlight(cfg), nil
+	case "news":
+		cfg := data.DefaultNewsConfig()
+		cfg.Articles = scaleN(cfg.Articles, 50)
+		cfg.Seed += seed
+		return data.GenNews(cfg), nil
+	case "twitter":
+		cfg := data.DefaultTwitterConfig()
+		cfg.Tweets = scaleN(cfg.Tweets, 50)
+		cfg.Seed += seed
+		return data.GenTwitter(cfg), nil
+	case "stock":
+		cfg := data.DefaultStockConfig()
+		cfg.Companies = scaleN(cfg.Companies, 5)
+		cfg.Days = scaleN(cfg.Days, 30)
+		cfg.Seed += seed
+		return data.GenStock(cfg), nil
+	}
+	return nil, fmt.Errorf("bench: unknown domain %q", domain)
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Outcome, error) {
+	if cfg.NumUDFs == 0 {
+		cfg.NumUDFs = 50
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	ds, err := Dataset(cfg.Domain, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	udfs, err := queries.Gen(cfg.Domain, cfg.Family, cfg.NumUDFs, 100+cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eopts := engine.Options{Workers: cfg.Workers}
+
+	many, err := engine.WhereMany(ds, udfs, eopts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: whereMany: %w", err)
+	}
+	copts := consolidate.DefaultOptions()
+	copts.FuncCoster = ds
+	// One shared solver across all pairwise merges: the divide-and-conquer
+	// levels repeat many entailment queries, which the cache then absorbs.
+	copts.Solver = smt.New()
+	cons, err := engine.WhereConsolidated(ds, udfs, copts, eopts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: whereConsolidated: %w", err)
+	}
+
+	meanLat := func(m *engine.Metrics) float64 {
+		if m.UDFs == 0 {
+			return 0
+		}
+		var sum float64
+		for q := 0; q < m.UDFs; q++ {
+			sum += m.MeanLatency(q)
+		}
+		return sum / float64(m.UDFs)
+	}
+	return &Outcome{
+		Config:      cfg,
+		Records:     many.Records,
+		ManyUDFCost: many.UDFCost,
+		ConsUDFCost: cons.UDFCost,
+		ManyUDFTime: many.UDFTime,
+		ConsUDFTime: cons.UDFTime,
+		ManyTotal:   many.TotalTime,
+		ConsTotal:   cons.TotalTime,
+		Consolidate: cons.ConsolidateTime,
+		MergedSize:  cons.Multi.OutputSize,
+		SMTQueries:  cons.Multi.SMTQueries,
+
+		ManyMeanLatency: meanLat(&many.Metrics),
+		ConsMeanLatency: meanLat(&cons.Metrics),
+
+		Agree: engine.SameResults(many, &cons.Result),
+	}, nil
+}
+
+// Row renders an outcome as a fixed-width report line.
+func (o *Outcome) Row() string {
+	return fmt.Sprintf("%-8s %-4s  n=%-3d rec=%-6d  udf×%5.1f cost×%5.1f total×%5.1f  cons=%8s  ok=%v",
+		o.Domain, o.Family, o.NumUDFs, o.Records,
+		o.UDFSpeedup(), o.CostSpeedup(), o.TotalSpeedup(),
+		o.Consolidate.Round(time.Millisecond), o.Agree)
+}
+
+// Header is the column legend for Row.
+func Header() string {
+	return "domain   fam   UDFs  records  speedups(udf-time, udf-cost, total)  consolidation  agree"
+}

@@ -1,0 +1,101 @@
+package bench
+
+import "testing"
+
+// TestAllExperimentsSmoke runs every Figure 9 experiment at reduced scale
+// and UDF count, checking that whereConsolidated agrees with whereMany and
+// never does more UDF work.
+func TestAllExperimentsSmoke(t *testing.T) {
+	cases := []struct{ domain, family string }{
+		{"weather", "Q1"}, {"weather", "Q2"}, {"weather", "Q3"}, {"weather", "Q4"}, {"weather", "Mix"},
+		{"flight", "Q1"}, {"flight", "Q2"}, {"flight", "Q3"}, {"flight", "Mix"},
+		{"news", "Q1"}, {"news", "Q2"}, {"news", "Q3"}, {"news", "BC"},
+		{"twitter", "Q1"}, {"twitter", "Q2"}, {"twitter", "Q3"}, {"twitter", "BC"},
+		{"stock", "Q1"}, {"stock", "Q2"}, {"stock", "Q3"}, {"stock", "BC"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.domain+"/"+c.family, func(t *testing.T) {
+			o, err := Run(Config{Domain: c.domain, Family: c.family, NumUDFs: 12, Scale: 0.01, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(o.Row())
+			if !o.Agree {
+				t.Error("operators disagree")
+			}
+			if o.ConsUDFCost > o.ManyUDFCost {
+				t.Errorf("consolidated UDF cost %d exceeds sequential %d", o.ConsUDFCost, o.ManyUDFCost)
+			}
+		})
+	}
+}
+
+// TestFigure9Shape asserts the qualitative claims of Figure 9 at reduced
+// scale: consolidation reduces UDF cost on every family, and single-call
+// families with heavy sharing beat 2x.
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape check is minutes long")
+	}
+	strong := map[string]bool{"twitter/Q1": true, "news/Q2": true}
+	for _, c := range []struct{ domain, family string }{
+		{"twitter", "Q1"}, {"news", "Q2"}, {"weather", "Q1"}, {"stock", "Q2"},
+	} {
+		o, err := Run(Config{Domain: c.domain, Family: c.family, NumUDFs: 30, Scale: 0.01, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.domain, c.family, err)
+		}
+		if !o.Agree {
+			t.Fatalf("%s/%s: operators disagree", c.domain, c.family)
+		}
+		if o.CostSpeedup() <= 1.0 {
+			t.Errorf("%s/%s: no cost win (%.2f)", c.domain, c.family, o.CostSpeedup())
+		}
+		if strong[c.domain+"/"+c.family] && o.CostSpeedup() < 2.0 {
+			t.Errorf("%s/%s: expected ≥2x cost win, got %.2f", c.domain, c.family, o.CostSpeedup())
+		}
+	}
+}
+
+// TestFigure10Shape asserts Figure 10's scalability claim: whereMany UDF
+// cost grows linearly with the number of UDFs while whereConsolidated
+// grows much slower, and consolidation stays subordinate to a full-scale
+// job.
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape check is minutes long")
+	}
+	costs := map[int][2]int64{}
+	for _, n := range []int{10, 40} {
+		o, err := Run(Config{Domain: "news", Family: "Q2", NumUDFs: n, Scale: 0.005, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Agree {
+			t.Fatalf("n=%d: operators disagree", n)
+		}
+		costs[n] = [2]int64{o.ManyUDFCost, o.ConsUDFCost}
+	}
+	manyGrowth := float64(costs[40][0]) / float64(costs[10][0])
+	consGrowth := float64(costs[40][1]) / float64(costs[10][1])
+	if manyGrowth < 3.5 {
+		t.Errorf("whereMany cost should grow ~linearly: x%.2f from 10 to 40 UDFs", manyGrowth)
+	}
+	if consGrowth > manyGrowth/1.5 {
+		t.Errorf("whereConsolidated should grow much slower: cons x%.2f vs many x%.2f", consGrowth, manyGrowth)
+	}
+}
+
+// TestLatencyShape asserts the Section 8 measurement: consolidation
+// reduces completion latency (the last query's mean notification cost).
+func TestLatencyShape(t *testing.T) {
+	o, err := Run(Config{Domain: "twitter", Family: "Q2", NumUDFs: 10, Scale: 0.005, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ConsMeanLatency >= o.ManyMeanLatency {
+		t.Errorf("mean notification latency should improve: %.1f vs %.1f",
+			o.ConsMeanLatency, o.ManyMeanLatency)
+	}
+}

@@ -1,0 +1,651 @@
+package consolidate
+
+import (
+	"fmt"
+	"time"
+
+	"consolidation/internal/invariant"
+	"consolidation/internal/lang"
+	"consolidation/internal/logic"
+	"consolidation/internal/smt"
+	"consolidation/internal/sym"
+)
+
+// Options tunes the consolidation algorithm.
+type Options struct {
+	// CostModel prices operations; nil means lang.DefaultCostModel.
+	CostModel *lang.CostModel
+	// FuncCoster prices library calls for the ⊢ cost comparisons.
+	FuncCoster lang.FuncCoster
+	// Invariant configures LoopInv.
+	Invariant invariant.Options
+	// MaxEmbedSize disables the duplicating If 3/If 4 rules when the code
+	// to embed exceeds this many AST nodes, falling back to If 5. This is
+	// the paper's cross-simplification vs code-size trade-off knob.
+	MaxEmbedSize int
+	// NoDCE disables the dead-store elimination post-pass (an extension
+	// over the paper's calculus; see EliminateDeadCode). Used by the
+	// ablation benchmarks.
+	NoDCE bool
+	// Solver supplies an existing solver (one consolidation at a time);
+	// nil creates a fresh one.
+	Solver *smt.Solver
+}
+
+// DefaultOptions mirror the paper's implementation choices.
+func DefaultOptions() Options {
+	return Options{
+		CostModel:    lang.DefaultCostModel(),
+		Invariant:    invariant.DefaultOptions(),
+		MaxEmbedSize: 6000,
+	}
+}
+
+// Stats reports which calculus rules fired and how much solver work the
+// consolidation performed.
+type Stats struct {
+	If1, If2, If3, If4, If5       int
+	Loop2, Loop3, LoopsSequential int
+	AssignsSimplified             int
+	SMTQueries                    int
+	Duration                      time.Duration
+	OutputSize                    int
+}
+
+// Consolidator carries the state of one consolidation run. It is not safe
+// for concurrent use; the divide-and-conquer driver creates one per pair.
+type Consolidator struct {
+	opts   Options
+	solver *smt.Solver
+	simp   *Simplifier
+	stats  Stats
+	// fuel bounds the total work of one Pair call. Loop 3 re-inserts loops
+	// into the pending lists, so a syntactic termination argument does not
+	// cover every adversarial input; when the fuel runs out the remaining
+	// statements are emitted verbatim, which is sound (it is exactly
+	// sequential execution) and costs nothing extra.
+	fuel int
+	// embedBudget bounds the *cumulative* duplication the If 3/If 4 rules
+	// may introduce in one Pair call. Each event duplicates at most
+	// MaxEmbedSize nodes, but dozens of events across nested conditionals
+	// would still blow the program up; the budget keeps the output within a
+	// constant factor of the inputs, which is where the paper's "few
+	// thousand lines" programs live.
+	embedBudget int
+}
+
+// New returns a consolidator with the given options.
+func New(opts Options) *Consolidator {
+	if opts.CostModel == nil {
+		opts.CostModel = lang.DefaultCostModel()
+	}
+	if opts.Invariant.MaxHoudiniRounds == 0 {
+		opts.Invariant = invariant.DefaultOptions()
+	}
+	if opts.MaxEmbedSize == 0 {
+		opts.MaxEmbedSize = 6000
+	}
+	solver := opts.Solver
+	if solver == nil {
+		solver = smt.New()
+	}
+	return &Consolidator{
+		opts:   opts,
+		solver: solver,
+		simp:   NewSimplifier(opts.CostModel, opts.FuncCoster),
+	}
+}
+
+// Stats returns the statistics of the last Pair call.
+func (co *Consolidator) Stats() Stats { return co.stats }
+
+// Pair computes Π1 ⊗ Π2 (Definition 1): a single program with the same
+// parameters whose run on any input broadcasts exactly the notifications of
+// Π1 followed by Π2, at a cost no greater than the sum of their costs.
+//
+// Both programs must take the same parameters, must not assign to them, and
+// must use disjoint notification identifiers. Local variables are renamed
+// apart automatically when they clash.
+func (co *Consolidator) Pair(p1, p2 *lang.Program) (*lang.Program, error) {
+	start := time.Now()
+	co.stats = Stats{}
+	if len(p1.Params) != len(p2.Params) {
+		return nil, fmt.Errorf("consolidate: %s and %s take different parameters", p1.Name, p2.Name)
+	}
+	for i := range p1.Params {
+		if p1.Params[i] != p2.Params[i] {
+			return nil, fmt.Errorf("consolidate: parameter mismatch %q vs %q", p1.Params[i], p2.Params[i])
+		}
+	}
+	params := map[string]bool{}
+	for _, p := range p1.Params {
+		params[p] = true
+	}
+	for _, p := range p1.Params {
+		if lang.AssignedVars(p1.Body)[p] || lang.AssignedVars(p2.Body)[p] {
+			return nil, fmt.Errorf("consolidate: programs must not assign parameter %q", p)
+		}
+	}
+	for id := range lang.NotifyIDs(p1.Body) {
+		if lang.NotifyIDs(p2.Body)[id] {
+			return nil, fmt.Errorf("consolidate: notification id %d used by both programs", id)
+		}
+	}
+	body2 := p2.Body
+	if clash := clashingLocals(p1.Body, body2, params); len(clash) > 0 {
+		body2 = lang.RenameVars(body2, func(v string) string {
+			if clash[v] {
+				return v + "$2"
+			}
+			return v
+		})
+	}
+
+	ctx := sym.NewContext(co.solver)
+	q0 := co.solver.Stats.Queries
+	co.fuel = 200 * (lang.Size(p1.Body) + lang.Size(body2))
+	if co.fuel < 20000 {
+		co.fuel = 20000
+	}
+	co.embedBudget = 2 * (lang.Size(p1.Body) + lang.Size(body2))
+	if co.embedBudget < 400 {
+		co.embedBudget = 400
+	}
+	if co.embedBudget > co.opts.MaxEmbedSize {
+		co.embedBudget = co.opts.MaxEmbedSize
+	}
+	out := co.omega(ctx, lang.Flatten(p1.Body), lang.Flatten(body2))
+	co.stats.SMTQueries = co.solver.Stats.Queries - q0
+	body := lang.SeqOf(out...)
+	merged := &lang.Program{
+		Name:   p1.Name + "⊗" + p2.Name,
+		Params: append([]string(nil), p1.Params...),
+		Body:   body,
+	}
+	if !co.opts.NoDCE {
+		merged = EliminateDeadCode(PropagateCopies(merged))
+	}
+	co.stats.Duration = time.Since(start)
+	co.stats.OutputSize = lang.Size(merged.Body)
+	return merged, nil
+}
+
+// clashingLocals returns non-parameter variables used by both bodies.
+func clashingLocals(b1, b2 lang.Stmt, params map[string]bool) map[string]bool {
+	v1 := lang.UsedVars(b1)
+	for v := range lang.AssignedVars(b1) {
+		v1[v] = true
+	}
+	out := map[string]bool{}
+	check := func(v string) {
+		if v1[v] && !params[v] {
+			out[v] = true
+		}
+	}
+	for v := range lang.UsedVars(b2) {
+		check(v)
+	}
+	for v := range lang.AssignedVars(b2) {
+		check(v)
+	}
+	return out
+}
+
+// omega is the consolidation algorithm Ω′ of Figure 8 over flattened
+// statement lists. Each iteration consumes at least one statement of s1 or
+// s2 (or strictly shrinks the pending work), mirroring the paper's
+// strategy: consume non-control statements into the context, embed the
+// second program under related conditionals, fuse provably-synchronised
+// loops, and commute only when the first program is exhausted or starts
+// with a loop the second cannot match.
+func (co *Consolidator) omega(ctx *sym.Context, s1, s2 []lang.Stmt) []lang.Stmt {
+	var out []lang.Stmt
+	for {
+		co.fuel--
+		if co.fuel < 0 {
+			out = append(out, s1...)
+			out = append(out, s2...)
+			return out
+		}
+		if len(s1) == 0 {
+			if len(s2) == 0 {
+				return out
+			}
+			// Line 5 (Com): the first program is consumed; continue with
+			// the second alone so it simplifies against the full context.
+			s1, s2 = s2, nil
+			continue
+		}
+		switch h := s1[0].(type) {
+		case lang.Skip:
+			s1 = s1[1:]
+		case lang.Notify:
+			// Line 8 (Step): notifications carry no reusable computation.
+			out = append(out, h)
+			s1 = s1[1:]
+		case lang.Assign:
+			// Line 7 (Assign): simplify the right-hand side under Ψ, emit,
+			// and absorb into the context via sp.
+			e := co.simp.SimplifyInt(ctx, h.E)
+			if !lang.EqualInt(e, h.E) {
+				co.stats.AssignsSimplified++
+			}
+			out = append(out, lang.Assign{Var: h.Var, E: e})
+			ctx.AssumeAssign(h.Var, e)
+			s1 = s1[1:]
+		case lang.Cond:
+			out = append(out, co.conditional(ctx, h, &s1, &s2)...)
+			if s1 == nil && s2 == nil {
+				return out
+			}
+		case lang.While:
+			if len(s2) > 0 {
+				if _, ok := s2[0].(lang.While); ok {
+					out = append(out, co.loops(ctx, &s1, &s2)...)
+					continue
+				}
+				// Line 32 (Com): let the second program run ahead so its
+				// facts can simplify this loop's body.
+				s1, s2 = s2, s1
+				continue
+			}
+			out = append(out, co.finalizeLoop(ctx, h))
+			s1 = s1[1:]
+		default:
+			panic(fmt.Sprintf("consolidate: unexpected statement %T", s1[0]))
+		}
+	}
+}
+
+// conditional implements lines 9–18 of Figure 8. It may fully consume both
+// programs (If 3), in which case it signals completion by setting both
+// lists to nil.
+func (co *Consolidator) conditional(ctx *sym.Context, h lang.Cond, s1, s2 *[]lang.Stmt) []lang.Stmt {
+	eb := co.simp.SimplifyBool(ctx, h.Test)
+	if c, ok := eb.(lang.BoolConst); ok {
+		// If 1 / If 2: the branch is statically decided; the test is not
+		// emitted at all, eliminating the redundant computation.
+		if c.Value {
+			co.stats.If1++
+			*s1 = append(lang.Flatten(h.Then), (*s1)[1:]...)
+		} else {
+			co.stats.If2++
+			*s1 = append(lang.Flatten(h.Else), (*s1)[1:]...)
+		}
+		return nil
+	}
+	cont := (*s1)[1:]
+	rest := *s2
+
+	// dupCost is the number of nodes an embedding would duplicate (the
+	// second copy of rest plus, for If 3, the second copy of cont).
+	dupCost := func(extra []lang.Stmt) int {
+		n := 0
+		for _, s := range rest {
+			n += lang.Size(s)
+		}
+		for _, s := range extra {
+			n += lang.Size(s)
+		}
+		return n
+	}
+	withinBudget := func(extra []lang.Stmt) bool {
+		return dupCost(extra) <= co.embedBudget
+	}
+
+	if len(rest) > 0 && related(featuresOfBoolCtx(ctx, h.Test), featuresOfStmts(rest)) {
+		if related(featuresOfStmts(cont), featuresOfStmts(rest)) && withinBudget(cont) {
+			// If 3: embed both the remainder C and the second program P in
+			// the branches; everything is consumed.
+			co.stats.If3++
+			co.embedBudget -= dupCost(cont)
+			thenCtx := ctx.Clone()
+			thenCtx.AssumeBool(h.Test)
+			thenB := co.omega(thenCtx, append(lang.Flatten(h.Then), cont...), rest)
+			elseCtx := ctx.Clone()
+			elseCtx.AssumeBool(lang.Not{E: h.Test})
+			elseB := co.omega(elseCtx, append(lang.Flatten(h.Else), cont...), rest)
+			*s1, *s2 = nil, nil
+			return []lang.Stmt{condOrCollapse(eb, thenB, elseB)}
+		}
+		if withinBudget(nil) {
+			// If 4: embed only P; C follows the conditional.
+			co.stats.If4++
+			co.embedBudget -= dupCost(nil)
+			thenCtx := ctx.Clone()
+			thenCtx.AssumeBool(h.Test)
+			thenB := co.omega(thenCtx, lang.Flatten(h.Then), rest)
+			elseCtx := ctx.Clone()
+			elseCtx.AssumeBool(lang.Not{E: h.Test})
+			elseB := co.omega(elseCtx, lang.Flatten(h.Else), rest)
+			cond := condOrCollapse(eb, thenB, elseB)
+			ctx.HavocSet(lang.AssignedVars(cond))
+			*s1 = cont
+			*s2 = nil
+			return []lang.Stmt{cond}
+		}
+	}
+	// If 5: simplify the branches in isolation and keep consolidating the
+	// remainder against the second program.
+	co.stats.If5++
+	thenCtx := ctx.Clone()
+	thenCtx.AssumeBool(h.Test)
+	thenB := co.omega(thenCtx, lang.Flatten(h.Then), nil)
+	elseCtx := ctx.Clone()
+	elseCtx.AssumeBool(lang.Not{E: h.Test})
+	elseB := co.omega(elseCtx, lang.Flatten(h.Else), nil)
+	cond := condOrCollapse(eb, thenB, elseB)
+	ctx.HavocSet(lang.AssignedVars(cond))
+	*s1 = cont
+	return []lang.Stmt{cond}
+}
+
+// condOrCollapse builds the consolidated conditional; when both branches
+// came out identical the test is dropped entirely — evaluating it would be
+// pure waste, and expressions are side-effect free.
+func condOrCollapse(test lang.BoolExpr, thenB, elseB []lang.Stmt) lang.Stmt {
+	t := lang.SeqOf(thenB...)
+	e := lang.SeqOf(elseB...)
+	if lang.EqualStmt(t, e) {
+		return t
+	}
+	return lang.Cond{Test: test, Then: t, Else: e}
+}
+
+// loops implements lines 19–31 of Figure 8: given loop heads on both sides,
+// prove a relationship between their iteration counts via an invariant of
+// the fused loop and apply Loop 2 or Loop 3 (Figure 7); otherwise run the
+// loops sequentially.
+func (co *Consolidator) loops(ctx *sym.Context, s1, s2 *[]lang.Stmt) []lang.Stmt {
+	w1 := (*s1)[0].(lang.While)
+	w2 := (*s2)[0].(lang.While)
+	fusedGuard := lang.BinBool{Op: lang.And, L: w1.Test, R: w2.Test}
+	fusedBody := lang.SeqOf(w1.Body, w2.Body)
+	inv := invariant.Infer(ctx, fusedGuard, fusedBody, co.opts.Invariant)
+
+	// Ψ1: the loop-head context — modified variables havocked, invariant
+	// assumed; facts about untouched variables survive from Ψ.
+	invCtx := ctx.Clone()
+	invCtx.HavocSet(lang.AssignedVars(fusedBody))
+	for _, f := range inv {
+		invCtx.AssumeBool(f)
+	}
+
+	exitCtx := invCtx.Clone()
+	exitCtx.AssumeBool(lang.Not{E: fusedGuard})
+
+	switch {
+	case exitCtx.EntailsBool(lang.Not{E: w1.Test}) && exitCtx.EntailsBool(lang.Not{E: w2.Test}):
+		// Loop 2: both loops exit together; run one fused loop guarded by e1.
+		co.stats.Loop2++
+		bodyCtx := invCtx.Clone()
+		bodyCtx.AssumeBool(w1.Test)
+		bodyCtx.AssumeBool(w2.Test) // entailed by e1 under Ψ1; sound to assume
+		body := co.omega(bodyCtx, lang.Flatten(w1.Body), lang.Flatten(w2.Body))
+		*ctx = *invCtx
+		ctx.AssumeBool(lang.Not{E: w1.Test})
+		*s1 = (*s1)[1:]
+		*s2 = (*s2)[1:]
+		return []lang.Stmt{lang.While{Test: w1.Test, Body: lang.SeqOf(body...)}}
+
+	case exitCtx.EntailsBool(w1.Test):
+		// Loop 3: the first loop outlives the second; fuse while e2 holds,
+		// then resume the first program with S1; while e1 do S1; C1.
+		co.stats.Loop3++
+		bodyCtx := invCtx.Clone()
+		bodyCtx.AssumeBool(w2.Test)
+		bodyCtx.AssumeBool(w1.Test)
+		body := co.omega(bodyCtx, lang.Flatten(w1.Body), lang.Flatten(w2.Body))
+		*ctx = *invCtx
+		ctx.AssumeBool(lang.Not{E: w2.Test})
+		ctx.AssumeBool(w1.Test)
+		*s1 = append(append(lang.Flatten(w1.Body), lang.Stmt(w1)), (*s1)[1:]...)
+		*s2 = (*s2)[1:]
+		return []lang.Stmt{lang.While{Test: w2.Test, Body: lang.SeqOf(body...)}}
+
+	case exitCtx.EntailsBool(w2.Test):
+		// Loop 3 with the arguments swapped (implicit Com, line 27).
+		co.stats.Loop3++
+		bodyCtx := invCtx.Clone()
+		bodyCtx.AssumeBool(w1.Test)
+		bodyCtx.AssumeBool(w2.Test)
+		body := co.omega(bodyCtx, lang.Flatten(w2.Body), lang.Flatten(w1.Body))
+		*ctx = *invCtx
+		ctx.AssumeBool(lang.Not{E: w1.Test})
+		ctx.AssumeBool(w2.Test)
+		*s2 = append(append(lang.Flatten(w2.Body), lang.Stmt(w2)), (*s2)[1:]...)
+		*s1 = (*s1)[1:]
+		return []lang.Stmt{lang.While{Test: w1.Test, Body: lang.SeqOf(body...)}}
+
+	default:
+		// No provable relationship: execute the first loop, then continue
+		// (Step/Seq, lines 29-31).
+		co.stats.LoopsSequential++
+		loop := co.finalizeLoop(ctx, w1)
+		*s1 = (*s1)[1:]
+		return []lang.Stmt{loop}
+	}
+}
+
+// finalizeLoop emits a loop whose partner program is exhausted: the guard
+// and body are cross-simplified under the loop invariant, and the context
+// is advanced to the post-loop state.
+func (co *Consolidator) finalizeLoop(ctx *sym.Context, w lang.While) lang.Stmt {
+	inv := invariant.Infer(ctx, w.Test, w.Body, co.opts.Invariant)
+	invCtx := ctx.Clone()
+	invCtx.HavocSet(lang.AssignedVars(w.Body))
+	for _, f := range inv {
+		invCtx.AssumeBool(f)
+	}
+	// The guard is evaluated at every loop head state, all of which satisfy
+	// the invariant context, so simplifying under it is sound. A constant
+	// result is kept only when it is `false` (never-entered loop); `true`
+	// would change nothing semantically (the original diverges too) but we
+	// keep the original test to preserve cost accounting transparency.
+	guard := co.simp.SimplifyBool(invCtx, w.Test)
+	if c, ok := guard.(lang.BoolConst); ok && c.Value {
+		guard = w.Test
+	}
+	bodyCtx := invCtx.Clone()
+	bodyCtx.AssumeBool(w.Test)
+	body := co.omega(bodyCtx, lang.Flatten(w.Body), nil)
+	*ctx = *invCtx
+	ctx.AssumeBool(lang.Not{E: w.Test})
+	return lang.While{Test: guard, Body: lang.SeqOf(body...)}
+}
+
+// featureSet abstracts a code fragment for the related() heuristic.
+// Precision matters: a feature is a specific call instance — the function
+// name plus those arguments that are constants or parameters (variable
+// arguments are wildcarded) — so that tempOfMonth(r, 3) relates to
+// tempOfMonth(r, 3) but not to tempOfMonth(r, 7). Calls with non-constant
+// arguments (loop indices) fall back to the bare function name, which is
+// what lets loop bodies relate for fusion. Call-free fragments use the
+// variables they read.
+type featureSet map[string]bool
+
+func callFeature(c lang.Call) string {
+	key := "call:" + c.Func + "("
+	for i, a := range c.Args {
+		if i > 0 {
+			key += ","
+		}
+		switch t := a.(type) {
+		case lang.IntConst:
+			key += t.String()
+		case lang.Var:
+			key += t.Name
+		default:
+			return "fn:" + c.Func
+		}
+	}
+	return key + ")"
+}
+
+func addIntFeatures(e lang.IntExpr, fs featureSet) {
+	switch t := e.(type) {
+	case lang.Var:
+		fs["var:"+t.Name] = true
+	case lang.Call:
+		fs[callFeature(t)] = true
+		for _, a := range t.Args {
+			addIntFeatures(a, fs)
+		}
+	case lang.BinInt:
+		addIntFeatures(t.L, fs)
+		addIntFeatures(t.R, fs)
+	}
+}
+
+func addBoolFeatures(e lang.BoolExpr, fs featureSet) {
+	switch t := e.(type) {
+	case lang.Cmp:
+		addIntFeatures(t.L, fs)
+		addIntFeatures(t.R, fs)
+	case lang.Not:
+		addBoolFeatures(t.E, fs)
+	case lang.BinBool:
+		addBoolFeatures(t.L, fs)
+		addBoolFeatures(t.R, fs)
+	}
+}
+
+func addStmtFeatures(s lang.Stmt, fs featureSet) {
+	switch t := s.(type) {
+	case lang.Assign:
+		addIntFeatures(t.E, fs)
+		fs["def:"+t.Var] = true
+	case lang.Seq:
+		addStmtFeatures(t.L, fs)
+		addStmtFeatures(t.R, fs)
+	case lang.Cond:
+		addBoolFeatures(t.Test, fs)
+		addStmtFeatures(t.Then, fs)
+		addStmtFeatures(t.Else, fs)
+	case lang.While:
+		addBoolFeatures(t.Test, fs)
+		addStmtFeatures(t.Body, fs)
+	}
+}
+
+func featuresOfBool(e lang.BoolExpr) featureSet {
+	fs := featureSet{}
+	addBoolFeatures(e, fs)
+	return fs
+}
+
+// featuresOfBoolCtx extends a test's features with the features of the
+// definitions of the variables it reads: a test over `name` where
+// name := airlineName(fi) carries the airlineName(fi) call feature, so it
+// relates to another program computing the same call (the paper's
+// Example 1).
+func featuresOfBoolCtx(ctx *sym.Context, e lang.BoolExpr) featureSet {
+	fs := featuresOfBool(e)
+	for k := range fs {
+		if len(k) > 4 && k[:4] == "var:" {
+			if def, ok := ctx.CurDef(k[4:]); ok {
+				addTermFeatures(def, fs)
+			}
+		}
+	}
+	return fs
+}
+
+// addTermFeatures derives call features from a logic term (a recorded
+// definition right-hand side); SSA version suffixes are stripped so the
+// features align with source-level ones.
+func addTermFeatures(t logic.Term, fs featureSet) {
+	switch x := t.(type) {
+	case logic.TApp:
+		key := "call:" + x.Func + "("
+		ok := true
+		for i, a := range x.Args {
+			if i > 0 {
+				key += ","
+			}
+			switch y := a.(type) {
+			case logic.TConst:
+				key += y.String()
+			case logic.TVar:
+				key += stripVersion(y.Name)
+			default:
+				ok = false
+			}
+		}
+		if ok {
+			fs[key+")"] = true
+		} else {
+			fs["fn:"+x.Func] = true
+		}
+		for _, a := range x.Args {
+			addTermFeatures(a, fs)
+		}
+	case logic.TBin:
+		addTermFeatures(x.L, fs)
+		addTermFeatures(x.R, fs)
+	}
+}
+
+func stripVersion(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '%' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func featuresOfStmts(ss []lang.Stmt) featureSet {
+	fs := featureSet{}
+	for _, s := range ss {
+		addStmtFeatures(s, fs)
+	}
+	return fs
+}
+
+// related decides whether two fragments plausibly share computation: they
+// contain the same call instance, read a shared variable, or one reads a
+// variable the other defines. This is the paper's related() heuristic
+// (Section 5); its precision controls the cross-simplification vs code-size
+// trade-off of If 3/4/5.
+func related(a, b featureSet) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+		if len(k) > 4 && k[:4] == "var:" && b["def:"+k[4:]] {
+			return true
+		}
+		if len(k) > 4 && k[:4] == "def:" && b["var:"+k[4:]] {
+			return true
+		}
+	}
+	return false
+}
+
+func collectBoolVars(e lang.BoolExpr, out map[string]bool) {
+	switch t := e.(type) {
+	case lang.Cmp:
+		collectIntVars(t.L, out)
+		collectIntVars(t.R, out)
+	case lang.Not:
+		collectBoolVars(t.E, out)
+	case lang.BinBool:
+		collectBoolVars(t.L, out)
+		collectBoolVars(t.R, out)
+	}
+}
+
+func collectIntVars(e lang.IntExpr, out map[string]bool) {
+	switch t := e.(type) {
+	case lang.Var:
+		out[t.Name] = true
+	case lang.Call:
+		for _, a := range t.Args {
+			collectIntVars(a, out)
+		}
+	case lang.BinInt:
+		collectIntVars(t.L, out)
+		collectIntVars(t.R, out)
+	}
+}

@@ -1,0 +1,59 @@
+package consolidate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"consolidation/internal/lang"
+)
+
+// TestCorpus consolidates every .udf batch under testdata and verifies
+// Definition 1 on sampled inputs: identical notifications, never more
+// cost. The corpus covers the paper's examples plus control-flow shapes
+// the unit tests exercise individually.
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.udf")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	lib := &lang.MapLibrary{}
+	lib.Define("price", 20, func(a []int64) (int64, error) { return (a[0]*37 + 11) % 400, nil })
+	lib.Define("airlineName", 40, func(a []int64) (int64, error) { return a[0] % 5, nil })
+	lib.Define("f", 30, func(a []int64) (int64, error) { return (a[0] + 3*a[1]) % 11, nil })
+
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			progs, err := lang.ParseAll(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(progs) < 2 {
+				t.Fatalf("corpus batch needs ≥2 programs, has %d", len(progs))
+			}
+			opts := DefaultOptions()
+			opts.FuncCoster = lib
+			merged, ms, err := All(progs, opts, false, false)
+			if err != nil {
+				t.Fatalf("consolidate: %v", err)
+			}
+			var ins [][]int64
+			for i := int64(0); i < 40; i++ {
+				ins = append(ins, []int64{i})
+			}
+			if err := Verify(progs, merged, lib, nil, ins, false); err != nil {
+				t.Fatalf("verify: %v\nmerged:\n%s", err, lang.Format(merged))
+			}
+			// Loop batches must actually fuse.
+			if strings.HasPrefix(filepath.Base(file), "loops_") && ms.Rules.Loop2+ms.Rules.Loop3 == 0 {
+				t.Errorf("no loop fusion in %s: %+v", file, ms.Rules)
+			}
+		})
+	}
+}

@@ -1,0 +1,271 @@
+package consolidate
+
+import (
+	"strings"
+	"testing"
+
+	"consolidation/internal/lang"
+)
+
+func TestDCEDeadStore(t *testing.T) {
+	p := lang.MustParse(`
+func d(r) {
+  dead := price(r);
+  live := price(r);
+  notify 1 (live < 10);
+}`)
+	out := EliminateDeadCode(p)
+	text := lang.Format(out)
+	if strings.Contains(text, "dead") {
+		t.Fatalf("dead store kept:\n%s", text)
+	}
+	if !strings.Contains(text, "live := price(r)") {
+		t.Fatalf("live store removed:\n%s", text)
+	}
+}
+
+func TestDCEChain(t *testing.T) {
+	// Removing b makes a dead too.
+	p := lang.MustParse(`
+func d(r) {
+  a := price(r);
+  b := a + 1;
+  notify 1 (r < 10);
+}`)
+	out := EliminateDeadCode(p)
+	if strings.Contains(lang.Format(out), ":=") {
+		t.Fatalf("dead chain kept:\n%s", lang.Format(out))
+	}
+}
+
+func TestDCELoopCounter(t *testing.T) {
+	// i is read by the guard and must stay; k is incremented but never
+	// read — the fused-loop leftover — and must go.
+	p := lang.MustParse(`
+func d(r) {
+  i := 0;
+  k := 0;
+  s := 0;
+  while (i < 10) {
+    s := s + price(r);
+    k := k + 1;
+    i := i + 1;
+  }
+  notify 1 (s > 100);
+}`)
+	out := EliminateDeadCode(p)
+	text := lang.Format(out)
+	if strings.Contains(text, "k :=") {
+		t.Fatalf("dead loop counter kept:\n%s", text)
+	}
+	for _, needed := range []string{"i := 0", "i := (i + 1)", "s := (s + price(r))"} {
+		if !strings.Contains(text, needed) {
+			t.Fatalf("live code %q removed:\n%s", needed, text)
+		}
+	}
+}
+
+func TestDCELoopCarried(t *testing.T) {
+	// x is only read inside the loop by its own update and finally by the
+	// notification: live. y is loop-carried but never escapes: dead.
+	p := lang.MustParse(`
+func d(r) {
+  x := 0;
+  y := 0;
+  i := 0;
+  while (i < 5) {
+    x := x + i;
+    y := y + x;
+    i := i + 1;
+  }
+  notify 1 (x > 3);
+}`)
+	out := EliminateDeadCode(p)
+	text := lang.Format(out)
+	if strings.Contains(text, "y :=") {
+		t.Fatalf("dead loop-carried variable kept:\n%s", text)
+	}
+	if !strings.Contains(text, "x := (x + i)") {
+		t.Fatalf("live accumulator removed:\n%s", text)
+	}
+}
+
+func TestDCEBranches(t *testing.T) {
+	// The conditional's branches assign different variables; only the one
+	// read afterwards survives in each.
+	p := lang.MustParse(`
+func d(r) {
+  a := 0;
+  b := 0;
+  if (r < 5) { a := 1; b := 2; } else { a := 3; }
+  notify 1 (a > 0);
+}`)
+	out := EliminateDeadCode(p)
+	text := lang.Format(out)
+	if strings.Contains(text, "b :=") {
+		t.Fatalf("dead branch assignment kept:\n%s", text)
+	}
+	if !strings.Contains(text, "a := 1") || !strings.Contains(text, "a := 3") {
+		t.Fatalf("live branch assignment removed:\n%s", text)
+	}
+}
+
+func TestDCEPreservesSemantics(t *testing.T) {
+	lib := propLib()
+	for trial := 0; trial < 30; trial++ {
+		gen := newProgGen(int64(5000 + trial))
+		p := gen.program("p", 1)
+		out := EliminateDeadCode(p)
+		for a := int64(-2); a <= 2; a++ {
+			for b := int64(-1); b <= 2; b++ {
+				i1 := lang.NewInterp(lib)
+				r1, err := i1.Run(p, []int64{a, b})
+				if err != nil {
+					t.Fatal(err)
+				}
+				i2 := lang.NewInterp(lib)
+				r2, err := i2.Run(out, []int64{a, b})
+				if err != nil {
+					t.Fatalf("trial %d: DCE output fails: %v\n%s", trial, err, lang.Format(out))
+				}
+				if !r1.Notes.Equal(r2.Notes) {
+					t.Fatalf("trial %d: DCE changed notifications on (%d,%d)\nbefore:\n%s\nafter:\n%s",
+						trial, a, b, lang.Format(p), lang.Format(out))
+				}
+				if r2.Cost > r1.Cost {
+					t.Fatalf("trial %d: DCE increased cost %d → %d", trial, r1.Cost, r2.Cost)
+				}
+			}
+		}
+	}
+}
+
+func TestDCEAfterFusion(t *testing.T) {
+	// After Loop 2 fusion the second loop's counter increment is dead and
+	// must disappear from the merged program.
+	p1 := lang.MustParse(`
+func p1(r) {
+  n := dayN(r); i := 0; s := 0;
+  while (i < n) { s := s + vol(r, i); i := i + 1; }
+  notify 1 (s > 100);
+}`)
+	p2 := lang.MustParse(`
+func p2(r) {
+  n2 := dayN(r); j := 0; m := 0;
+  while (j < n2) { h := vol(r, j); if (m < h) { m := h; } j := j + 1; }
+  notify 2 (m > 50);
+}`)
+	lib := &lang.MapLibrary{}
+	lib.Define("dayN", 10, func(a []int64) (int64, error) { return 7, nil })
+	lib.Define("vol", 25, func(a []int64) (int64, error) { return (a[0]*13 + a[1]*31) % 97, nil })
+	opts := DefaultOptions()
+	opts.FuncCoster = lib
+	co := New(opts)
+	merged, err := co.Pair(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Stats().Loop2 == 0 {
+		t.Fatalf("loops did not fuse: %+v\n%s", co.Stats(), lang.Format(merged))
+	}
+	text := lang.Format(merged)
+	if n := strings.Count(text, "vol("); n != 1 {
+		t.Errorf("vol should be called once per iteration, found %d:\n%s", n, text)
+	}
+	// One of the two counters must have been eliminated entirely.
+	if strings.Contains(text, "i := (i + 1)") && strings.Contains(text, "j := (j + 1)") {
+		t.Errorf("dead counter survived fusion+DCE:\n%s", text)
+	}
+	if err := Verify([]*lang.Program{p1, p2}, merged, lib, nil, inputs(10), false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyPropagation(t *testing.T) {
+	p := lang.MustParse(`
+func c(r) {
+  a := price(r);
+  b := a;
+  d := b;
+  notify 1 (d < 10 && b < 20);
+}`)
+	out := EliminateDeadCode(PropagateCopies(p))
+	text := lang.Format(out)
+	if strings.Contains(text, "b :=") || strings.Contains(text, "d :=") {
+		t.Fatalf("copies survived:\n%s", text)
+	}
+	if !strings.Contains(text, "(a < 10)") || !strings.Contains(text, "(a < 20)") {
+		t.Fatalf("reads not redirected to a:\n%s", text)
+	}
+}
+
+func TestCopyPropagationRespectsReassignment(t *testing.T) {
+	// b := a; a := 0; use b — b must NOT be replaced by a.
+	p := lang.MustParse(`
+func c(r) {
+  a := price(r);
+  b := a;
+  a := 0;
+  notify 1 (b < 10 && a == 0);
+}`)
+	out := PropagateCopies(p)
+	text := lang.Format(out)
+	if !strings.Contains(text, "(b < 10)") {
+		t.Fatalf("b wrongly replaced after a was reassigned:\n%s", text)
+	}
+}
+
+func TestCopyPropagationLoops(t *testing.T) {
+	// The binding s → a is killed by the loop body's assignment to s.
+	p := lang.MustParse(`
+func c(r) {
+  a := price(r);
+  s := a;
+  i := 0;
+  while (i < 3) { s := s + 1; i := i + 1; }
+  notify 1 (s > a);
+}`)
+	out := PropagateCopies(p)
+	lib := paperLib()
+	in := lang.NewInterp(lib)
+	for rec := int64(0); rec < 5; rec++ {
+		r1, err := in.Run(p, []int64{rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := in.Run(out, []int64{rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r1.Notes.Equal(r2.Notes) {
+			t.Fatalf("copy propagation changed loop semantics:\n%s", lang.Format(out))
+		}
+	}
+}
+
+func TestCopyPropagationPreservesSemantics(t *testing.T) {
+	lib := propLib()
+	for trial := 0; trial < 25; trial++ {
+		gen := newProgGen(int64(7000 + trial))
+		p := gen.program("p", 1)
+		out := EliminateDeadCode(PropagateCopies(p))
+		for a := int64(-2); a <= 2; a++ {
+			for b := int64(-1); b <= 2; b++ {
+				i1 := lang.NewInterp(lib)
+				r1, err := i1.Run(p, []int64{a, b})
+				if err != nil {
+					t.Fatal(err)
+				}
+				i2 := lang.NewInterp(lib)
+				r2, err := i2.Run(out, []int64{a, b})
+				if err != nil {
+					t.Fatalf("trial %d: %v\n%s", trial, err, lang.Format(out))
+				}
+				if !r1.Notes.Equal(r2.Notes) || r2.Cost > r1.Cost {
+					t.Fatalf("trial %d (%d,%d): notes %v vs %v, cost %d vs %d\nbefore:\n%s\nafter:\n%s",
+						trial, a, b, r1.Notes, r2.Notes, r1.Cost, r2.Cost, lang.Format(p), lang.Format(out))
+				}
+			}
+		}
+	}
+}

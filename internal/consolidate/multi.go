@@ -1,0 +1,185 @@
+package consolidate
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"consolidation/internal/lang"
+)
+
+// MultiStats aggregates a divide-and-conquer consolidation of n programs.
+type MultiStats struct {
+	Programs   int
+	Pairs      int
+	Levels     int
+	Duration   time.Duration
+	SMTQueries int
+	Rules      Stats
+	OutputSize int
+}
+
+// All consolidates n ≥ 1 programs into one, pairing them level by level as
+// in the parallel divide-and-conquer scheme of Section 6.1. Notification
+// identifiers are renumbered to the program's index when renumber is true
+// (the whereConsolidated operator does this so query i owns id i); local
+// variables are renamed apart automatically.
+func All(progs []*lang.Program, opts Options, renumber bool, parallel bool) (*lang.Program, *MultiStats, error) {
+	if len(progs) == 0 {
+		return nil, nil, fmt.Errorf("consolidate: no programs")
+	}
+	start := time.Now()
+	ms := &MultiStats{Programs: len(progs)}
+
+	// Clean-up passes run once on the final program, not between levels: a
+	// store that is dead within one merged program is exactly what a later
+	// partner memoizes against (its call result), so intermediate DCE
+	// destroys sharing opportunities.
+	finalDCE := !opts.NoDCE
+	opts.NoDCE = true
+
+	work := make([]*lang.Program, len(progs))
+	for i, p := range progs {
+		q := &lang.Program{Name: p.Name, Params: p.Params, Body: p.Body}
+		// Rename locals apart once, so pairwise clash renaming stays rare.
+		params := map[string]bool{}
+		for _, prm := range p.Params {
+			params[prm] = true
+		}
+		idx := i
+		q.Body = lang.RenameVars(q.Body, func(v string) string {
+			if params[v] {
+				return v
+			}
+			return fmt.Sprintf("q%d_%s", idx, v)
+		})
+		if renumber {
+			q.Body = lang.RenameNotifyIDs(q.Body, func(int) int { return idx })
+			// Multiple notify sites in one program share its id; renumber
+			// collapses them correctly because ids are per-program.
+		}
+		work[i] = q
+	}
+
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// A caller-supplied solver forces serial execution: the solver (and its
+	// query cache, which later levels hit heavily) is not safe for
+	// concurrent use.
+	if opts.Solver != nil {
+		workers = 1
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	for len(work) > 1 {
+		ms.Levels++
+		next := make([]*lang.Program, (len(work)+1)/2)
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < len(work); i += 2 {
+			if i+1 == len(work) {
+				next[i/2] = work[i]
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(slot int, a, b *lang.Program) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				co := New(opts)
+				merged, err := co.Pair(a, b)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				ms.Pairs++
+				ms.SMTQueries += co.stats.SMTQueries
+				addStats(&ms.Rules, co.stats)
+				next[slot] = merged
+			}(i/2, work[i], work[i+1])
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, nil, firstErr
+		}
+		work = next
+	}
+	out := work[0]
+	if finalDCE {
+		out = EliminateDeadCode(PropagateCopies(out))
+	}
+	ms.Duration = time.Since(start)
+	ms.OutputSize = lang.Size(out.Body)
+	return out, ms, nil
+}
+
+func addStats(dst *Stats, s Stats) {
+	dst.If1 += s.If1
+	dst.If2 += s.If2
+	dst.If3 += s.If3
+	dst.If4 += s.If4
+	dst.If5 += s.If5
+	dst.Loop2 += s.Loop2
+	dst.Loop3 += s.Loop3
+	dst.LoopsSequential += s.LoopsSequential
+	dst.AssignsSimplified += s.AssignsSimplified
+}
+
+// Verify checks Definition 1 on concrete inputs: for every input vector,
+// running the consolidated program must produce exactly the union of the
+// originals' notification environments, at a cost no greater than the sum
+// of their costs. It returns a descriptive error on the first violation.
+//
+// When the originals were consolidated with renumbering, pass ids mapping
+// each original's position to its notification id (nil means identity of
+// the program's own ids).
+func Verify(origs []*lang.Program, merged *lang.Program, lib lang.Library, cm *lang.CostModel, inputs [][]int64, renumbered bool) error {
+	for _, in := range inputs {
+		var sumCost int64
+		want := lang.Notifications{}
+		for i, p := range origs {
+			interp := lang.NewInterp(lib)
+			if cm != nil {
+				interp.CM = cm
+			}
+			res, err := interp.Run(p, in)
+			if err != nil {
+				return fmt.Errorf("original %s on %v: %w", p.Name, in, err)
+			}
+			sumCost += res.Cost
+			for id, v := range res.Notes {
+				nid := id
+				if renumbered {
+					nid = i
+				}
+				if _, dup := want[nid]; dup {
+					return fmt.Errorf("originals share notification id %d", nid)
+				}
+				want[nid] = v
+			}
+		}
+		interp := lang.NewInterp(lib)
+		if cm != nil {
+			interp.CM = cm
+		}
+		res, err := interp.Run(merged, in)
+		if err != nil {
+			return fmt.Errorf("consolidated program on %v: %w", in, err)
+		}
+		if !res.Notes.Equal(want) {
+			return fmt.Errorf("input %v: notifications %v, want %v", in, res.Notes, want)
+		}
+		if res.Cost > sumCost {
+			return fmt.Errorf("input %v: consolidated cost %d exceeds sequential cost %d", in, res.Cost, sumCost)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package consolidate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"consolidation/internal/lang"
+)
+
+// progGen generates random terminating programs in the formal language:
+// assignments over locals and parameters, nested conditionals, bounded
+// counting loops, and a trailing notification. Loops always have the shape
+// i := c; while (0 < i) { …; i := i - 1 } so every generated program
+// terminates, which Verify needs.
+type progGen struct {
+	rng    *rand.Rand
+	locals []string
+	funcs  []string
+	nextID int
+}
+
+func newProgGen(seed int64) *progGen {
+	return &progGen{
+		rng:   rand.New(rand.NewSource(seed)),
+		funcs: []string{"f", "g", "h2"},
+	}
+}
+
+func (g *progGen) intExpr(depth int) lang.IntExpr {
+	switch g.rng.Intn(6) {
+	case 0:
+		return lang.IntConst{Value: int64(g.rng.Intn(21) - 10)}
+	case 1:
+		return lang.Var{Name: "a"}
+	case 2:
+		if len(g.locals) > 0 {
+			return lang.Var{Name: g.locals[g.rng.Intn(len(g.locals))]}
+		}
+		return lang.Var{Name: "b"}
+	case 3:
+		fn := g.funcs[g.rng.Intn(len(g.funcs))]
+		return lang.Call{Func: fn, Args: []lang.IntExpr{g.smaller(depth)}}
+	default:
+		if depth <= 0 {
+			return lang.Var{Name: "b"}
+		}
+		op := []lang.IntOp{lang.Add, lang.Sub, lang.Mul}[g.rng.Intn(3)]
+		return lang.BinInt{Op: op, L: g.intExpr(depth - 1), R: g.intExpr(depth - 1)}
+	}
+}
+
+func (g *progGen) smaller(depth int) lang.IntExpr {
+	if depth <= 0 {
+		return lang.Var{Name: "a"}
+	}
+	return g.intExpr(depth - 1)
+}
+
+func (g *progGen) boolExpr(depth int) lang.BoolExpr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		op := []lang.CmpOp{lang.Lt, lang.Eq, lang.Le}[g.rng.Intn(3)]
+		return lang.Cmp{Op: op, L: g.intExpr(1), R: g.intExpr(1)}
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		return lang.Not{E: g.boolExpr(depth - 1)}
+	default:
+		op := []lang.BoolOp{lang.And, lang.Or}[g.rng.Intn(2)]
+		return lang.BinBool{Op: op, L: g.boolExpr(depth - 1), R: g.boolExpr(depth - 1)}
+	}
+}
+
+func (g *progGen) newLocal() string {
+	v := fmt.Sprintf("v%d", len(g.locals))
+	g.locals = append(g.locals, v)
+	return v
+}
+
+func (g *progGen) stmts(n, depth int) []lang.Stmt {
+	var out []lang.Stmt
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(8) {
+		case 0, 1, 2, 3:
+			out = append(out, lang.Assign{Var: g.newLocal(), E: g.intExpr(2)})
+		case 4, 5:
+			if depth > 0 {
+				out = append(out, lang.Cond{
+					Test: g.boolExpr(1),
+					Then: lang.SeqOf(g.stmts(1+g.rng.Intn(2), depth-1)...),
+					Else: lang.SeqOf(g.stmts(g.rng.Intn(2), depth-1)...),
+				})
+			} else {
+				out = append(out, lang.Assign{Var: g.newLocal(), E: g.intExpr(1)})
+			}
+		case 6:
+			if depth > 0 {
+				// Bounded counting loop.
+				iv := g.newLocal()
+				body := g.stmts(1+g.rng.Intn(2), 0)
+				body = append(body, lang.Assign{Var: iv,
+					E: lang.BinInt{Op: lang.Sub, L: lang.Var{Name: iv}, R: lang.IntConst{Value: 1}}})
+				out = append(out,
+					lang.Assign{Var: iv, E: lang.IntConst{Value: int64(1 + g.rng.Intn(5))}},
+					lang.While{
+						Test: lang.Cmp{Op: lang.Lt, L: lang.IntConst{Value: 0}, R: lang.Var{Name: iv}},
+						Body: lang.SeqOf(body...),
+					})
+			}
+		default:
+			out = append(out, lang.Assign{Var: g.newLocal(), E: g.intExpr(2)})
+		}
+	}
+	return out
+}
+
+func (g *progGen) program(name string, notifyID int) *lang.Program {
+	g.locals = nil
+	body := g.stmts(2+g.rng.Intn(3), 2)
+	body = append(body, lang.Cond{
+		Test: g.boolExpr(2),
+		Then: lang.Notify{ID: notifyID, Value: true},
+		Else: lang.Notify{ID: notifyID, Value: false},
+	})
+	// Initialise every local up front so that reads of variables assigned
+	// only in untaken branches stay bound.
+	var init []lang.Stmt
+	for _, v := range g.locals {
+		init = append(init, lang.Assign{Var: v, E: lang.IntConst{Value: 0}})
+	}
+	return &lang.Program{Name: name, Params: []string{"a", "b"}, Body: lang.SeqOf(append(init, body...)...)}
+}
+
+func propLib() *lang.MapLibrary {
+	lib := &lang.MapLibrary{}
+	lib.Define("f", 25, func(a []int64) (int64, error) { return 3*a[0] - 7, nil })
+	lib.Define("g", 40, func(a []int64) (int64, error) { return a[0]*a[0]%97 - 11, nil })
+	lib.Define("h2", 15, func(a []int64) (int64, error) { return -a[0] + 2, nil })
+	return lib
+}
+
+// TestPropertySoundnessAndCost is the repository's central property test:
+// for randomly generated program pairs, the consolidated program must
+// broadcast exactly the originals' notifications and cost no more than
+// their sum (Definition 1 / Theorem 1), on every probed input.
+func TestPropertySoundnessAndCost(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 25
+	}
+	lib := propLib()
+	opts := DefaultOptions()
+	opts.FuncCoster = lib
+	for trial := 0; trial < trials; trial++ {
+		gen := newProgGen(int64(1000 + trial))
+		p1 := gen.program("p1", 1)
+		p2 := gen.program("p2", 2)
+		co := New(opts)
+		merged, err := co.Pair(p1, p2)
+		if err != nil {
+			t.Fatalf("trial %d: Pair: %v\np1:\n%s\np2:\n%s", trial, err, lang.Format(p1), lang.Format(p2))
+		}
+		var ins [][]int64
+		for a := int64(-3); a <= 3; a += 3 {
+			for b := int64(-2); b <= 4; b += 2 {
+				ins = append(ins, []int64{a, b})
+			}
+		}
+		if err := Verify([]*lang.Program{p1, p2}, merged, lib, nil, ins, false); err != nil {
+			t.Fatalf("trial %d: %v\np1:\n%s\np2:\n%s\nmerged:\n%s",
+				trial, err, lang.Format(p1), lang.Format(p2), lang.Format(merged))
+		}
+	}
+}
+
+// TestPropertyMultiway extends the property to divide-and-conquer
+// consolidation of several random programs.
+func TestPropertyMultiway(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 5
+	}
+	lib := propLib()
+	opts := DefaultOptions()
+	opts.FuncCoster = lib
+	for trial := 0; trial < trials; trial++ {
+		gen := newProgGen(int64(9000 + trial))
+		var progs []*lang.Program
+		n := 3 + gen.rng.Intn(4)
+		for i := 0; i < n; i++ {
+			progs = append(progs, gen.program(fmt.Sprintf("p%d", i), 1))
+		}
+		merged, _, err := All(progs, opts, true, false)
+		if err != nil {
+			t.Fatalf("trial %d: All: %v", trial, err)
+		}
+		ins := [][]int64{{0, 0}, {1, 2}, {-3, 4}, {5, -1}, {2, 2}}
+		if err := Verify(progs, merged, lib, nil, ins, true); err != nil {
+			msg := fmt.Sprintf("trial %d: %v\n", trial, err)
+			for _, p := range progs {
+				msg += lang.Format(p) + "\n"
+			}
+			t.Fatal(msg + "merged:\n" + lang.Format(merged))
+		}
+	}
+}

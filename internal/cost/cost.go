@@ -1,0 +1,259 @@
+// Package cost statically bounds the execution cost of UDFs under the
+// paper's cost semantics (Figure 2). Expressions are branch-free, so their
+// cost is exact; statements get [min, max] intervals, with loop bounds
+// recovered for the counting loops that dominate the workloads
+// (i := c; while (i < K) { …; i := i + 1 }) through lightweight constant
+// propagation.
+//
+// The consolidation tooling uses these bounds to report the *predicted*
+// saving of a merge next to the measured one: by Definition 1 the merged
+// program's cost never exceeds the sum of the originals on any input, so
+// the sequential max bound is also a sound bound for the merge.
+package cost
+
+import (
+	"consolidation/internal/lang"
+)
+
+// Bound is a static cost interval.
+type Bound struct {
+	Min int64
+	Max int64
+	// MaxKnown is false when no finite upper bound was derived (a loop
+	// whose trip count is not statically evident); Max is then meaningless.
+	MaxKnown bool
+}
+
+// Exact reports whether the interval is a single point.
+func (b Bound) Exact() bool { return b.MaxKnown && b.Min == b.Max }
+
+func point(v int64) Bound { return Bound{Min: v, Max: v, MaxKnown: true} }
+
+func (b Bound) plus(o Bound) Bound {
+	out := Bound{Min: b.Min + o.Min}
+	if b.MaxKnown && o.MaxKnown {
+		out.Max = b.Max + o.Max
+		out.MaxKnown = true
+	}
+	return out
+}
+
+func (b Bound) join(o Bound) Bound {
+	out := Bound{Min: minI(b.Min, o.Min)}
+	if b.MaxKnown && o.MaxKnown {
+		out.Max = maxI(b.Max, o.Max)
+		out.MaxKnown = true
+	}
+	return out
+}
+
+func (b Bound) times(n int64) Bound {
+	out := Bound{Min: b.Min * n}
+	if b.MaxKnown {
+		out.Max = b.Max * n
+		out.MaxKnown = true
+	}
+	return out
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Program bounds the cost of running p. cm may be nil (defaults); fc may
+// be nil (library calls priced at cm.CallBase).
+func Program(p *lang.Program, cm *lang.CostModel, fc lang.FuncCoster) Bound {
+	if cm == nil {
+		cm = lang.DefaultCostModel()
+	}
+	a := &analyzer{cm: cm, fc: fc, consts: map[string]int64{}}
+	return a.stmt(p.Body)
+}
+
+// Sequential bounds the cost of running every program in sequence — the
+// whereMany baseline and, by Definition 1, a sound upper bound for their
+// consolidation.
+func Sequential(progs []*lang.Program, cm *lang.CostModel, fc lang.FuncCoster) Bound {
+	total := point(0)
+	for _, p := range progs {
+		total = total.plus(Program(p, cm, fc))
+	}
+	return total
+}
+
+type analyzer struct {
+	cm *lang.CostModel
+	fc lang.FuncCoster
+	// consts tracks variables currently known to hold a constant.
+	consts map[string]int64
+}
+
+func (a *analyzer) stmt(s lang.Stmt) Bound {
+	switch t := s.(type) {
+	case lang.Skip:
+		return point(0)
+	case lang.Notify:
+		return point(a.cm.Notify)
+	case lang.Assign:
+		b := point(a.cm.StaticIntCost(t.E, a.fc) + a.cm.Assign)
+		if v, ok := constExpr(t.E, a.consts); ok {
+			a.consts[t.Var] = v
+		} else {
+			delete(a.consts, t.Var)
+		}
+		return b
+	case lang.Seq:
+		return a.stmt(t.L).plus(a.stmt(t.R))
+	case lang.Cond:
+		test := point(a.cm.StaticBoolCost(t.Test, a.fc) + a.cm.Branch)
+		// Branches start from the same constant state; afterwards only
+		// facts untouched by both survive.
+		saved := cloneConsts(a.consts)
+		th := a.stmt(t.Then)
+		a.consts = cloneConsts(saved)
+		el := a.stmt(t.Else)
+		a.consts = saved
+		for v := range lang.AssignedVars(t.Then) {
+			delete(a.consts, v)
+		}
+		for v := range lang.AssignedVars(t.Else) {
+			delete(a.consts, v)
+		}
+		return test.plus(th.join(el))
+	case lang.While:
+		return a.loop(t)
+	}
+	return point(0)
+}
+
+// loop bounds a while loop: the guard is evaluated iterations+1 times and
+// the body iterations times. The trip count is derived for counting loops
+// over a constant range; otherwise only the minimum (zero iterations) is
+// known.
+func (a *analyzer) loop(w lang.While) Bound {
+	guard := point(a.cm.StaticBoolCost(w.Test, a.fc) + a.cm.Branch)
+	trips, known := a.tripCount(w)
+	// The body invalidates constants it assigns, whether or not it runs.
+	bodyA := &analyzer{cm: a.cm, fc: a.fc, consts: cloneConsts(a.consts)}
+	for v := range lang.AssignedVars(w.Body) {
+		delete(bodyA.consts, v)
+	}
+	body := bodyA.stmt(w.Body)
+	for v := range lang.AssignedVars(w.Body) {
+		delete(a.consts, v)
+	}
+	if !known {
+		return Bound{Min: guard.Min, MaxKnown: false}
+	}
+	if trips == 0 {
+		return guard
+	}
+	total := guard.times(trips + 1).plus(body.times(trips))
+	// A zero-iteration execution is impossible only if the guard is
+	// certainly true initially; we already proved exactly `trips`
+	// iterations happen, so Min uses the same count.
+	return total
+}
+
+// tripCount recognises `while (i < K)` / `while (i <= K)` (or the mirrored
+// `K > i` forms produced by parsing sugar) whose counter i holds a known
+// constant at entry and is updated only by unconditional i := i + 1 in the
+// body. It returns the exact number of iterations.
+func (a *analyzer) tripCount(w lang.While) (int64, bool) {
+	cmp, ok := w.Test.(lang.Cmp)
+	if !ok || cmp.Op == lang.Eq {
+		return 0, false
+	}
+	iv, ok := cmp.L.(lang.Var)
+	if !ok {
+		return 0, false
+	}
+	limit, ok := constExpr(cmp.R, a.consts)
+	if !ok {
+		return 0, false
+	}
+	start, ok := a.consts[iv.Name]
+	if !ok {
+		return 0, false
+	}
+	// The counter must be incremented by exactly 1 once per iteration at
+	// the top level of the body and assigned nowhere else.
+	incs := 0
+	for _, st := range lang.Flatten(w.Body) {
+		as, isAssign := st.(lang.Assign)
+		if isAssign && as.Var == iv.Name {
+			b, okb := as.E.(lang.BinInt)
+			if !okb || b.Op != lang.Add {
+				return 0, false
+			}
+			l, lok := b.L.(lang.Var)
+			c, cok := b.R.(lang.IntConst)
+			if !lok || !cok || l.Name != iv.Name || c.Value != 1 {
+				return 0, false
+			}
+			incs++
+			continue
+		}
+		if !isAssign && lang.AssignedVars(st)[iv.Name] {
+			return 0, false
+		}
+	}
+	if incs != 1 {
+		return 0, false
+	}
+	var trips int64
+	switch cmp.Op {
+	case lang.Lt:
+		trips = limit - start
+	case lang.Le:
+		trips = limit - start + 1
+	}
+	if trips < 0 {
+		trips = 0
+	}
+	return trips, true
+}
+
+func cloneConsts(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// constExpr folds an expression to a constant under the known-constants
+// environment.
+func constExpr(e lang.IntExpr, consts map[string]int64) (int64, bool) {
+	switch t := e.(type) {
+	case lang.IntConst:
+		return t.Value, true
+	case lang.Var:
+		v, ok := consts[t.Name]
+		return v, ok
+	case lang.BinInt:
+		l, okl := constExpr(t.L, consts)
+		r, okr := constExpr(t.R, consts)
+		if !okl || !okr {
+			return 0, false
+		}
+		switch t.Op {
+		case lang.Add:
+			return l + r, true
+		case lang.Sub:
+			return l - r, true
+		default:
+			return l * r, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,156 @@
+package cost
+
+import (
+	"testing"
+
+	"consolidation/internal/lang"
+)
+
+func lib() *lang.MapLibrary {
+	l := &lang.MapLibrary{}
+	l.Define("f", 100, func(a []int64) (int64, error) { return a[0], nil })
+	return l
+}
+
+// runCost executes p and returns the actual interpreter cost.
+func runCost(t *testing.T, p *lang.Program, args []int64) int64 {
+	t.Helper()
+	res, err := lang.NewInterp(lib()).Run(p, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Cost
+}
+
+func TestStraightLineExact(t *testing.T) {
+	p := lang.MustParse(`func s(r) { x := f(r) + 1; notify 1 true; }`)
+	b := Program(p, nil, lib())
+	if !b.Exact() {
+		t.Fatalf("straight-line bound should be exact: %+v", b)
+	}
+	if got := runCost(t, p, []int64{3}); got != b.Min {
+		t.Fatalf("bound %d, actual %d", b.Min, got)
+	}
+}
+
+func TestBranchInterval(t *testing.T) {
+	p := lang.MustParse(`
+func b(r) {
+  if (r < 5) { x := f(r); notify 1 true; } else { notify 1 false; }
+}`)
+	b := Program(p, nil, lib())
+	if !b.MaxKnown || b.Min >= b.Max {
+		t.Fatalf("branch bound should be a proper interval: %+v", b)
+	}
+	for _, arg := range []int64{0, 9} {
+		got := runCost(t, p, []int64{arg})
+		if got < b.Min || got > b.Max {
+			t.Fatalf("actual %d outside [%d, %d]", got, b.Min, b.Max)
+		}
+	}
+}
+
+func TestCountingLoopExact(t *testing.T) {
+	p := lang.MustParse(`
+func l(r) {
+  i := 2;
+  s := 0;
+  while (i <= 12) { t := f(r); s := s + t; i := i + 1; }
+  notify 1 (s > 0);
+}`)
+	b := Program(p, nil, lib())
+	if !b.Exact() {
+		t.Fatalf("constant counting loop should bound exactly: %+v", b)
+	}
+	if got := runCost(t, p, []int64{1}); got != b.Min {
+		t.Fatalf("bound %d, actual %d", b.Min, got)
+	}
+}
+
+func TestLoopDerivedBound(t *testing.T) {
+	// Bound expression k = 3 * 4 folds through constant propagation.
+	p := lang.MustParse(`
+func l(r) {
+  k := 3 * 4;
+  i := 0;
+  while (i < k) { i := i + 1; }
+  notify 1 true;
+}`)
+	b := Program(p, nil, lib())
+	if !b.Exact() {
+		t.Fatalf("derived-bound loop should be exact: %+v", b)
+	}
+	if got := runCost(t, p, []int64{0}); got != b.Min {
+		t.Fatalf("bound %d, actual %d", b.Min, got)
+	}
+}
+
+func TestUnboundedLoop(t *testing.T) {
+	p := lang.MustParse(`
+func u(n) {
+  i := 0;
+  while (i < n) { i := i + 1; }
+  notify 1 true;
+}`)
+	b := Program(p, nil, lib())
+	if b.MaxKnown {
+		t.Fatalf("input-dependent loop must not claim a max: %+v", b)
+	}
+	// Min (zero iterations) must still undercut every run.
+	for _, n := range []int64{0, 3, 9} {
+		if got := runCost(t, p, []int64{n}); got < b.Min {
+			t.Fatalf("actual %d below min %d", got, b.Min)
+		}
+	}
+}
+
+func TestConditionalBreaksCounting(t *testing.T) {
+	// The counter is also assigned in a branch: no static trip count.
+	p := lang.MustParse(`
+func c(r) {
+  i := 0;
+  while (i < 10) { if (r < 3) { i := i + 2; } else { skip; } i := i + 1; }
+  notify 1 true;
+}`)
+	b := Program(p, nil, lib())
+	if b.MaxKnown {
+		t.Fatalf("irregular counter must not claim a max: %+v", b)
+	}
+}
+
+func TestSequentialSum(t *testing.T) {
+	p1 := lang.MustParse(`func a(r) { x := f(r); notify 1 (x > 0); }`)
+	p2 := lang.MustParse(`func b(r) { y := f(r); notify 2 (y > 1); }`)
+	seq := Sequential([]*lang.Program{p1, p2}, nil, lib())
+	one := Program(p1, nil, lib())
+	if !seq.MaxKnown || seq.Max <= one.Max {
+		t.Fatalf("sequential bound should exceed a single program: %+v vs %+v", seq, one)
+	}
+	got := runCost(t, p1, []int64{2}) + runCost(t, p2, []int64{2})
+	if got < seq.Min || got > seq.Max {
+		t.Fatalf("actual %d outside [%d, %d]", got, seq.Min, seq.Max)
+	}
+}
+
+// TestBoundsAreSound fuzzes: interpreter cost always falls within the
+// static interval (below max when known, above min always).
+func TestBoundsAreSound(t *testing.T) {
+	progs := []string{
+		`func p(r) { a := f(r); if (a > 3) { b := a * 2; notify 1 (b > 10); } else { notify 1 false; } }`,
+		`func p(r) { i := 0; s := 0; while (i < 7) { s := s + i; i := i + 1; } notify 1 (s > r); }`,
+		`func p(r) { if (r < 0) { i := 0; while (i < 3) { i := i + 1; } } else { skip; } notify 1 true; }`,
+	}
+	for _, src := range progs {
+		p := lang.MustParse(src)
+		b := Program(p, nil, lib())
+		for arg := int64(-4); arg <= 6; arg++ {
+			got := runCost(t, p, []int64{arg})
+			if got < b.Min {
+				t.Fatalf("%s(%d): cost %d below min %d", src, arg, got, b.Min)
+			}
+			if b.MaxKnown && got > b.Max {
+				t.Fatalf("%s(%d): cost %d above max %d", src, arg, got, b.Max)
+			}
+		}
+	}
+}

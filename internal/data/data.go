@@ -1,0 +1,77 @@
+// Package data provides the five datasets of the paper's evaluation
+// (Section 6.2) as deterministic, seeded synthetic generators with the
+// schemas and cardinalities the paper reports:
+//
+//   - Weather: hourly weather for two years across 500 cities, aggregated
+//     to monthly averages (temperature −1..10 °C, rainfall 0..200 mm).
+//   - Flight: flights during the first half of November 2013 for 500
+//     airlines across 10 world cities, 12 daily flights between all
+//     cities, prices from arithmetic progressions in the airline and city
+//     identifiers.
+//   - News: articles modelled on the Reuters-21578 collection (19043
+//     English articles) with Zipf-distributed vocabularies.
+//   - Twitter: 31152 tweets in three languages with smileys, sentiment
+//     and topic signals.
+//   - Stock: 377423 daily rows of Nasdaq-100-style price history.
+//
+// The paper used two synthetic (weather, flight) and three real datasets;
+// the real ones are substituted with generators because the experiments
+// measure computation sharing between UDFs, which depends on schemas and
+// parameter distributions rather than on the literal corpus (see
+// DESIGN.md). Every dataset implements engine.RecordLibrary: records are
+// stored in an encoded wire form and decoded by SetRecord, so each pass
+// over the data pays a realistic per-record ingest cost.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// costTable prices library functions for the cost semantics; datasets embed
+// it.
+type costTable map[string]int64
+
+func (c costTable) FuncCost(name string) (int64, bool) {
+	v, ok := c[name]
+	return v, ok
+}
+
+func errArity(fn string, want, got int) error {
+	return fmt.Errorf("data: %s expects %d arguments, got %d", fn, want, got)
+}
+
+func errNoFunc(ds, fn string) error {
+	return fmt.Errorf("data: %s dataset has no function %q", ds, fn)
+}
+
+// encodeInts renders a row of integers in the CSV-ish wire form.
+func encodeInts(vals []int64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+// decodeInts parses the wire form; the per-record decoding cost is the
+// simulated IO/deserialisation work of a pass over the data.
+func decodeInts(s string, dst []int64) []int64 {
+	dst = dst[:0]
+	for len(s) > 0 {
+		i := strings.IndexByte(s, ',')
+		var tok string
+		if i < 0 {
+			tok, s = s, ""
+		} else {
+			tok, s = s[:i], s[i+1:]
+		}
+		v, _ := strconv.ParseInt(tok, 10, 64)
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,231 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestWeatherDeterminismAndRanges(t *testing.T) {
+	cfg := WeatherConfig{Cities: 20, Months: 24, Seed: 7}
+	w1 := GenWeather(cfg)
+	w2 := GenWeather(cfg)
+	if w1.NumRecords() != 20 {
+		t.Fatalf("NumRecords = %d", w1.NumRecords())
+	}
+	for i := 0; i < w1.NumRecords(); i++ {
+		w1.SetRecord(i)
+		w2.SetRecord(i)
+		for m := int64(1); m <= 24; m++ {
+			a, err := w1.Call("tempOfMonth", []int64{int64(i), m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := w2.Call("tempOfMonth", []int64{int64(i), m})
+			if a != b {
+				t.Fatalf("non-deterministic generation at city %d month %d", i, m)
+			}
+			if a < -5 || a > 20 {
+				t.Fatalf("temperature %d out of plausible range", a)
+			}
+			r, err := w1.Call("rainOfMonth", []int64{int64(i), m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r < 0 || r > 200 {
+				t.Fatalf("rainfall %d out of range", r)
+			}
+		}
+		// Yearly averages are averages of the months.
+		y1, err := w1.Call("yearlyAvgTemp", []int64{int64(i), 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for m := int64(1); m <= 12; m++ {
+			v, _ := w1.Call("tempOfMonth", []int64{int64(i), m})
+			sum += v
+		}
+		if y1 != sum/12 {
+			t.Fatalf("yearlyAvgTemp = %d, want %d", y1, sum/12)
+		}
+	}
+}
+
+func TestWeatherErrors(t *testing.T) {
+	w := GenWeather(WeatherConfig{Cities: 2, Months: 12, Seed: 1})
+	if _, err := w.Call("tempOfMonth", []int64{0, 1}); err == nil {
+		t.Error("call before SetRecord should fail")
+	}
+	w.SetRecord(0)
+	if _, err := w.Call("tempOfMonth", []int64{0, 0}); err == nil {
+		t.Error("month 0 should be out of range")
+	}
+	if _, err := w.Call("tempOfMonth", []int64{0, 13}); err == nil {
+		t.Error("month 13 should be out of range with 12 months")
+	}
+	if _, err := w.Call("nosuch", nil); err == nil {
+		t.Error("unknown function should fail")
+	}
+	if _, err := w.Call("tempOfMonth", []int64{0}); err == nil {
+		t.Error("arity error should fail")
+	}
+}
+
+func TestFlightModel(t *testing.T) {
+	f := GenFlight(FlightConfig{Airlines: 30, Cities: 10, Days: 15, Seed: 9})
+	f.SetRecord(3)
+	// Same-city pairs are never served.
+	if v, err := f.Call("directPrice", []int64{3, 4, 4}); err != nil || v != -1 {
+		t.Fatalf("same-city direct = %d, %v", v, err)
+	}
+	// Prices grow along the arithmetic progression in days.
+	var prev int64 = -1
+	for d := int64(0); d < 15; d++ {
+		v, err := f.Call("dayPrice", []int64{3, 0, 2, d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > 0 {
+			if prev > 0 && v < prev {
+				t.Fatalf("day prices should be non-decreasing, %d then %d", prev, v)
+			}
+			prev = v
+		}
+	}
+	// connPrice via the same city is rejected.
+	if v, _ := f.Call("connPrice", []int64{3, 0, 0, 2}); v != -1 {
+		t.Fatalf("connection through origin = %d", v)
+	}
+	if _, err := f.Call("dayPrice", []int64{3, 0, 2, 99}); err == nil {
+		t.Error("day out of range should fail")
+	}
+	if _, err := f.Call("directPrice", []int64{3, 0, 42}); err == nil {
+		t.Error("city out of range should fail")
+	}
+}
+
+func TestNewsScans(t *testing.T) {
+	n := GenNews(NewsConfig{Articles: 50, VocabSize: 300, Seed: 11})
+	if n.NumRecords() != 50 {
+		t.Fatalf("NumRecords = %d", n.NumRecords())
+	}
+	n.SetRecord(7)
+	cnt, err := n.Call("wordCount", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt < 60 || cnt > 280 {
+		t.Fatalf("article length %d out of configured range", cnt)
+	}
+	// sumWordLen equals the sum over wordLen.
+	var sum int64
+	for i := int64(0); i < cnt; i++ {
+		l, err := n.Call("wordLen", []int64{7, i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l < 2 || l > 13 {
+			t.Fatalf("word length %d out of range", l)
+		}
+		sum += l
+	}
+	s, _ := n.Call("sumWordLen", nil)
+	if s != sum {
+		t.Fatalf("sumWordLen = %d, want %d", s, sum)
+	}
+	// containsWord agrees with a manual scan for a frequent and a rare word.
+	for _, w := range []int64{0, 299} {
+		got, _ := n.Call("containsWord", []int64{7, w})
+		if got != 0 && got != 1 {
+			t.Fatalf("containsWord returned %d", got)
+		}
+	}
+	if _, err := n.Call("wordLen", []int64{7, cnt}); err == nil {
+		t.Error("word index out of range should fail")
+	}
+}
+
+func TestTwitterSignals(t *testing.T) {
+	tw := GenTwitter(TwitterConfig{Tweets: 200, Seed: 13})
+	smileyTotal := int64(0)
+	for i := 0; i < tw.NumRecords(); i++ {
+		tw.SetRecord(i)
+		l, err := tw.Call("languageOf", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l < 0 || l >= TwitterLanguages {
+			t.Fatalf("language %d out of range", l)
+		}
+		c, _ := tw.Call("smileyCount", nil)
+		smileyTotal += c
+		s, err := tw.Call("sentimentScore", []int64{int64(i), 2})
+		if err != nil || s < 0 {
+			t.Fatalf("sentimentScore = %d, %v", s, err)
+		}
+	}
+	if smileyTotal == 0 {
+		t.Fatal("no smileys generated at all")
+	}
+	tw.SetRecord(0)
+	if _, err := tw.Call("sentimentScore", []int64{0, 99}); err == nil {
+		t.Error("sentiment out of range should fail")
+	}
+	if _, err := tw.Call("topicScore", []int64{0, -1}); err == nil {
+		t.Error("topic out of range should fail")
+	}
+}
+
+func TestStockSeries(t *testing.T) {
+	s := GenStock(StockConfig{Companies: 5, Days: 40, Seed: 15})
+	s.SetRecord(2)
+	n, err := s.Call("dayCount", nil)
+	if err != nil || n != 40 {
+		t.Fatalf("dayCount = %d, %v", n, err)
+	}
+	for i := int64(0); i < n; i++ {
+		c, _ := s.Call("closeAt", []int64{2, i})
+		h, _ := s.Call("highAt", []int64{2, i})
+		v, _ := s.Call("volumeAt", []int64{2, i})
+		if h < c {
+			t.Fatalf("day %d: high %d below close %d", i, h, c)
+		}
+		if c < 100 || v <= 0 {
+			t.Fatalf("day %d: implausible close %d volume %d", i, c, v)
+		}
+	}
+	if _, err := s.Call("closeAt", []int64{2, 40}); err == nil {
+		t.Error("day out of range should fail")
+	}
+}
+
+func TestClonesAreIndependent(t *testing.T) {
+	w := GenWeather(WeatherConfig{Cities: 3, Months: 12, Seed: 1})
+	w.SetRecord(0)
+	c := w.Clone()
+	c.SetRecord(2)
+	a, _ := w.Call("tempOfMonth", []int64{0, 1})
+	w2 := GenWeather(WeatherConfig{Cities: 3, Months: 12, Seed: 1})
+	w2.SetRecord(0)
+	b, _ := w2.Call("tempOfMonth", []int64{0, 1})
+	if a != b {
+		t.Fatal("clone's SetRecord leaked into the original")
+	}
+}
+
+func TestPaperCardinalities(t *testing.T) {
+	if c := DefaultNewsConfig(); c.Articles != 19043 {
+		t.Errorf("news default %d, paper says 19043", c.Articles)
+	}
+	if c := DefaultTwitterConfig(); c.Tweets != 31152 {
+		t.Errorf("twitter default %d, paper says 31152", c.Tweets)
+	}
+	if c := DefaultStockConfig(); c.Companies*c.Days != 377400 {
+		t.Errorf("stock default rows %d, paper says ≈377423", c.Companies*c.Days)
+	}
+	if c := DefaultWeatherConfig(); c.Cities != 500 || c.Months != 24 {
+		t.Errorf("weather default %+v, paper says 500 cities × 2 years", c)
+	}
+	if c := DefaultFlightConfig(); c.Airlines != 500 || c.Cities != 10 || c.Days != 15 {
+		t.Errorf("flight default %+v, paper says 500 airlines × 10 cities × 15 days", c)
+	}
+}

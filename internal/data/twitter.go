@@ -1,0 +1,163 @@
+package data
+
+import (
+	"fmt"
+
+	"consolidation/internal/engine"
+)
+
+// TwitterConfig sizes the Twitter dataset. The paper uses 31152 real
+// tweets in English, Spanish and Portuguese from the IBM Many Eyes
+// database.
+type TwitterConfig struct {
+	Tweets int
+	Seed   int64
+}
+
+// DefaultTwitterConfig matches the paper's cardinality.
+func DefaultTwitterConfig() TwitterConfig {
+	return TwitterConfig{Tweets: 31152, Seed: 4}
+}
+
+// Sentiment and topic cardinalities of the generated corpus.
+const (
+	TwitterSentiments = 6
+	TwitterTopics     = 8
+	TwitterLanguages  = 3
+)
+
+// Twitter is the tweet dataset: one record per tweet, stored as a token
+// stream. Smiley counting and sentiment/topic scoring scan the tokens,
+// mirroring the string analysis the paper's UDFs perform.
+//
+// Library functions:
+//
+//	smileyCount(r)       — number of smiley tokens
+//	sentimentScore(r, s) — affinity of the tweet with sentiment s (0-based)
+//	topicScore(r, t)     — affinity of the tweet with topic t (0-based)
+//	languageOf(r)        — language id (0..2)
+type Twitter struct {
+	cfg     TwitterConfig
+	encoded []string // per-tweet "lang|tok,tok,…"
+	costs   costTable
+
+	curLang int64
+	cur     []int64
+	ok      bool
+}
+
+// Token-space layout: ids below smileyBase are words; [smileyBase,
+// smileyBase+16) are smileys.
+const (
+	twitterVocab = 4000
+	smileyBase   = twitterVocab
+	smileyKinds  = 16
+)
+
+// GenTwitter builds the dataset.
+func GenTwitter(cfg TwitterConfig) *Twitter {
+	rng := newRNG(cfg.Seed)
+	t := &Twitter{
+		cfg: cfg,
+		costs: costTable{
+			"smileyCount":    80,
+			"sentimentScore": 150,
+			"topicScore":     150,
+			"languageOf":     4,
+		},
+	}
+	for i := 0; i < cfg.Tweets; i++ {
+		langID := int64(rng.Intn(TwitterLanguages))
+		length := 4 + rng.Intn(24)
+		toks := make([]int64, length)
+		for j := range toks {
+			if rng.Intn(8) == 0 {
+				toks[j] = int64(smileyBase + rng.Intn(smileyKinds))
+			} else {
+				toks[j] = int64(rng.Intn(twitterVocab))
+			}
+		}
+		t.encoded = append(t.encoded, encodeInts([]int64{langID})+"|"+encodeInts(toks))
+	}
+	return t
+}
+
+// NumRecords implements engine.RecordLibrary.
+func (t *Twitter) NumRecords() int { return len(t.encoded) }
+
+// SetRecord implements engine.RecordLibrary.
+func (t *Twitter) SetRecord(i int) {
+	raw := t.encoded[i]
+	sep := 0
+	for raw[sep] != '|' {
+		sep++
+	}
+	hdr := decodeInts(raw[:sep], nil)
+	t.curLang = hdr[0]
+	t.cur = decodeInts(raw[sep+1:], t.cur)
+	t.ok = true
+}
+
+// Clone implements engine.RecordLibrary.
+func (t *Twitter) Clone() engine.RecordLibrary {
+	return &Twitter{cfg: t.cfg, encoded: t.encoded, costs: t.costs}
+}
+
+// FuncCost implements lang.FuncCoster.
+func (t *Twitter) FuncCost(name string) (int64, bool) { return t.costs.FuncCost(name) }
+
+// affinity is a deterministic token→(class, weight) signal used for both
+// sentiment and topic scoring.
+func affinity(tok, class, space int64) int64 {
+	h := uint64(tok)*2654435761 + uint64(class)*40503
+	if int64(h%uint64(space)) == class%space {
+		return int64(h%7) + 1
+	}
+	return 0
+}
+
+// Call implements lang.Library.
+func (t *Twitter) Call(name string, args []int64) (int64, error) {
+	if !t.ok {
+		return 0, fmt.Errorf("data: twitter: no record selected")
+	}
+	switch name {
+	case "smileyCount":
+		var c int64
+		for _, tok := range t.cur {
+			if tok >= smileyBase {
+				c++
+			}
+		}
+		return c, nil
+	case "sentimentScore":
+		if len(args) != 2 {
+			return 0, errArity(name, 2, len(args))
+		}
+		s := args[1]
+		if s < 0 || s >= TwitterSentiments {
+			return 0, fmt.Errorf("data: twitter: sentiment %d out of range", s)
+		}
+		var score int64
+		for _, tok := range t.cur {
+			score += affinity(tok, s, TwitterSentiments)
+		}
+		return score, nil
+	case "topicScore":
+		if len(args) != 2 {
+			return 0, errArity(name, 2, len(args))
+		}
+		tp := args[1]
+		if tp < 0 || tp >= TwitterTopics {
+			return 0, fmt.Errorf("data: twitter: topic %d out of range", tp)
+		}
+		var score int64
+		for _, tok := range t.cur {
+			score += affinity(tok+7, tp, TwitterTopics)
+		}
+		return score, nil
+	case "languageOf":
+		return t.curLang, nil
+	}
+	return 0, errNoFunc("twitter", name)
+}

@@ -1,0 +1,374 @@
+// Package dataflow is a small timely-dataflow-style execution layer in the
+// spirit of Naiad, the system the paper builds on: a query is a graph of
+// operator stages connected by channels, records stream through the graph
+// partitioned across parallel workers, and filter stages evaluate UDFs
+// written in the formal language.
+//
+// The package generalises internal/engine's two fixed operators into a
+// composable graph:
+//
+//	g := dataflow.NewGraph(data)                    // source over a dataset
+//	passed := dataflow.WhereConsolidated(g, udfs)   // n UDFs, one program
+//	sink := dataflow.Collect(passed)
+//	if err := g.Run(4); err != nil { ... }
+//	rows := sink.Rows()
+//
+// Stages exchange Row values (record handle + per-UDF verdicts). Each stage
+// runs one goroutine per worker; edges are buffered channels; completion
+// propagates by channel close, as in a dataflow system's progress frontier.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"consolidation/internal/consolidate"
+	"consolidation/internal/engine"
+	"consolidation/internal/lang"
+)
+
+// Row is one record flowing through the graph: its handle in the backing
+// dataset and the verdicts attached by filter stages so far.
+type Row struct {
+	Record   int
+	Verdicts []bool
+}
+
+// Graph is a dataflow graph under construction; Run executes it.
+type Graph struct {
+	data   engine.RecordLibrary
+	stages []stage
+	built  bool
+}
+
+type stage interface {
+	// run processes the worker's input partition; out may be nil for sinks.
+	run(workerID int, lib engine.RecordLibrary, in <-chan Row, out chan<- Row) error
+	name() string
+}
+
+// edgeBuf is the channel capacity between stages.
+const edgeBuf = 64
+
+// NewGraph creates a graph whose source emits one Row per record of data.
+func NewGraph(data engine.RecordLibrary) *Graph {
+	return &Graph{data: data}
+}
+
+// handle identifies a stage's output within the graph.
+type handle struct {
+	g   *Graph
+	idx int
+}
+
+// Source returns the graph's source handle.
+func (g *Graph) Source() handle { return handle{g: g, idx: -1} }
+
+func (g *Graph) addStage(s stage, after handle) handle {
+	if after.g != g {
+		panic("dataflow: handle from a different graph")
+	}
+	if after.idx != len(g.stages)-1 {
+		panic("dataflow: stages must be chained linearly in construction order")
+	}
+	g.stages = append(g.stages, s)
+	return handle{g: g, idx: len(g.stages) - 1}
+}
+
+// Run executes the graph with the given number of workers per stage.
+func (g *Graph) Run(workers int) error {
+	if g.built {
+		return fmt.Errorf("dataflow: graph already ran")
+	}
+	g.built = true
+	if workers <= 0 {
+		workers = 1
+	}
+	n := g.data.NumRecords()
+
+	// Build per-stage channel fan: one input channel per worker per stage.
+	type fan []chan Row
+	mkFan := func() fan {
+		f := make(fan, workers)
+		for i := range f {
+			f[i] = make(chan Row, edgeBuf)
+		}
+		return f
+	}
+	fans := make([]fan, len(g.stages)+1)
+	for i := range fans {
+		fans[i] = mkFan()
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*(len(g.stages)+1))
+
+	// Source: partition records round-robin across the first fan.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			fans[0][i%workers] <- Row{Record: i}
+		}
+		for _, ch := range fans[0] {
+			close(ch)
+		}
+	}()
+
+	// Stages.
+	for si, st := range g.stages {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(si, w int, st stage) {
+				defer wg.Done()
+				var out chan<- Row
+				if si+1 < len(fans) {
+					out = fans[si+1][w]
+				}
+				lib := g.data.Clone()
+				err := st.run(w, lib, fans[si][w], out)
+				if err != nil {
+					errCh <- fmt.Errorf("dataflow: stage %s worker %d: %w", st.name(), w, err)
+				}
+				if out != nil {
+					close(out)
+				}
+			}(si, w, st)
+		}
+	}
+
+	// Drain the final fan (if the last stage is not a sink that swallows
+	// rows, its output is discarded).
+	last := fans[len(fans)-1]
+	for _, ch := range last {
+		wg.Add(1)
+		go func(ch <-chan Row) {
+			defer wg.Done()
+			for range ch {
+			}
+		}(ch)
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- filter stages ----
+
+// filterStage evaluates one or more UDF programs per row.
+type filterStage struct {
+	label string
+	progs []*lang.Program
+	ids   []int
+	// merged, when non-nil, is a consolidated program notifying 0..n-1.
+	merged *lang.Program
+	// keep decides whether a row survives (nil keeps everything).
+	keep func(verdicts []bool) bool
+}
+
+func (f *filterStage) name() string { return f.label }
+
+func (f *filterStage) run(_ int, lib engine.RecordLibrary, in <-chan Row, out chan<- Row) error {
+	interp := lang.NewInterp(lib)
+	for row := range in {
+		lib.SetRecord(row.Record)
+		var verdicts []bool
+		if f.merged != nil {
+			res, err := interp.Run(f.merged, []int64{int64(row.Record)})
+			if err != nil {
+				return err
+			}
+			verdicts = make([]bool, len(f.progs))
+			for q := range f.progs {
+				v, ok := res.Notes[q]
+				if !ok {
+					return fmt.Errorf("missing notification %d on record %d", q, row.Record)
+				}
+				verdicts[q] = v
+			}
+		} else {
+			verdicts = make([]bool, len(f.progs))
+			for q, p := range f.progs {
+				res, err := interp.Run(p, []int64{int64(row.Record)})
+				if err != nil {
+					return err
+				}
+				v, ok := res.Notes[f.ids[q]]
+				if !ok {
+					return fmt.Errorf("UDF %s did not notify on record %d", p.Name, row.Record)
+				}
+				verdicts[q] = v
+			}
+		}
+		row.Verdicts = append(row.Verdicts, verdicts...)
+		if f.keep == nil || f.keep(row.Verdicts) {
+			if out != nil {
+				out <- row
+			}
+		}
+	}
+	return nil
+}
+
+// Where appends a single-UDF filter stage that drops rows the UDF rejects.
+func Where(after handle, udf *lang.Program) (handle, error) {
+	id, err := singleNotifyID(udf)
+	if err != nil {
+		return handle{}, err
+	}
+	return after.g.addStage(&filterStage{
+		label: "where:" + udf.Name,
+		progs: []*lang.Program{udf},
+		ids:   []int{id},
+		keep:  func(v []bool) bool { return v[len(v)-1] },
+	}, after), nil
+}
+
+// WhereMany appends a stage evaluating every UDF sequentially per row,
+// annotating the row with all verdicts (rows are not dropped).
+func WhereMany(after handle, udfs []*lang.Program) (handle, error) {
+	ids := make([]int, len(udfs))
+	for i, p := range udfs {
+		id, err := singleNotifyID(p)
+		if err != nil {
+			return handle{}, err
+		}
+		ids[i] = id
+	}
+	return after.g.addStage(&filterStage{
+		label: "whereMany",
+		progs: udfs,
+		ids:   ids,
+	}, after), nil
+}
+
+// WhereConsolidated appends a stage evaluating the consolidation of the
+// UDFs, annotating rows with all verdicts.
+func WhereConsolidated(after handle, udfs []*lang.Program, opts consolidate.Options) (handle, error) {
+	for _, p := range udfs {
+		if _, err := singleNotifyID(p); err != nil {
+			return handle{}, err
+		}
+	}
+	if opts.FuncCoster == nil {
+		opts.FuncCoster = after.g.data
+	}
+	merged, _, err := consolidate.All(udfs, opts, true, true)
+	if err != nil {
+		return handle{}, err
+	}
+	return after.g.addStage(&filterStage{
+		label:  "whereConsolidated",
+		progs:  udfs,
+		merged: merged,
+	}, after), nil
+}
+
+func singleNotifyID(p *lang.Program) (int, error) {
+	ids := lang.NotifyIDs(p.Body)
+	if len(ids) != 1 {
+		return 0, fmt.Errorf("dataflow: UDF %s must notify exactly one id", p.Name)
+	}
+	for id := range ids {
+		return id, nil
+	}
+	return 0, nil
+}
+
+// ---- sinks ----
+
+// CollectSink accumulates the rows that reach it.
+type CollectSink struct {
+	mu   sync.Mutex
+	rows []Row
+}
+
+func (c *CollectSink) name() string { return "collect" }
+
+func (c *CollectSink) run(_ int, _ engine.RecordLibrary, in <-chan Row, out chan<- Row) error {
+	var local []Row
+	for row := range in {
+		local = append(local, row)
+	}
+	c.mu.Lock()
+	c.rows = append(c.rows, local...)
+	c.mu.Unlock()
+	return nil
+}
+
+// Rows returns the collected rows sorted by record id.
+func (c *CollectSink) Rows() []Row {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]Row(nil), c.rows...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Record < out[j].Record })
+	return out
+}
+
+// Collect appends a sink that gathers every row.
+func Collect(after handle) *CollectSink {
+	sink := &CollectSink{}
+	after.g.addStage(sink, after)
+	return sink
+}
+
+// CountSink counts rows per verdict column.
+type CountSink struct {
+	mu     sync.Mutex
+	rows   int
+	byCol  []int
+	nUDFs  int
+	inited bool
+}
+
+func (c *CountSink) name() string { return "count" }
+
+func (c *CountSink) run(_ int, _ engine.RecordLibrary, in <-chan Row, out chan<- Row) error {
+	localRows := 0
+	var localCols []int
+	for row := range in {
+		localRows++
+		if localCols == nil {
+			localCols = make([]int, len(row.Verdicts))
+		}
+		for i, v := range row.Verdicts {
+			if v {
+				localCols[i]++
+			}
+		}
+	}
+	c.mu.Lock()
+	c.rows += localRows
+	if !c.inited && localCols != nil {
+		c.byCol = make([]int, len(localCols))
+		c.inited = true
+	}
+	for i := range localCols {
+		if i < len(c.byCol) {
+			c.byCol[i] += localCols[i]
+		}
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Totals returns (rows seen, matches per verdict column).
+func (c *CountSink) Totals() (int, []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rows, append([]int(nil), c.byCol...)
+}
+
+// Count appends a counting sink.
+func Count(after handle) *CountSink {
+	sink := &CountSink{}
+	after.g.addStage(sink, after)
+	return sink
+}

@@ -1,0 +1,208 @@
+package dataflow
+
+import (
+	"fmt"
+	"testing"
+
+	"consolidation/internal/consolidate"
+	"consolidation/internal/engine"
+	"consolidation/internal/lang"
+)
+
+// toy is a minimal dataset: record i has value i*7 mod 50.
+type toy struct {
+	n   int
+	cur int64
+}
+
+func (d *toy) NumRecords() int { return d.n }
+func (d *toy) SetRecord(i int) { d.cur = int64(i * 7 % 50) }
+func (d *toy) Clone() engine.RecordLibrary {
+	return &toy{n: d.n}
+}
+func (d *toy) FuncCost(name string) (int64, bool) {
+	if name == "val" {
+		return 20, true
+	}
+	return 0, false
+}
+func (d *toy) Call(name string, args []int64) (int64, error) {
+	if name == "val" {
+		return d.cur, nil
+	}
+	return 0, fmt.Errorf("toy: no function %q", name)
+}
+
+func udf(i int, k int64) *lang.Program {
+	return lang.MustParse(fmt.Sprintf("func q%d(r) { v := val(r); notify 1 (v < %d); }", i, k))
+}
+
+func TestWhereDropsRows(t *testing.T) {
+	g := NewGraph(&toy{n: 100})
+	h, err := Where(g.Source(), udf(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := Collect(h)
+	if err := g.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	rows := sink.Rows()
+	for _, r := range rows {
+		if v := int64(r.Record * 7 % 50); v >= 10 {
+			t.Fatalf("record %d (val %d) should have been dropped", r.Record, v)
+		}
+		if len(r.Verdicts) != 1 || !r.Verdicts[0] {
+			t.Fatalf("row verdicts = %v", r.Verdicts)
+		}
+	}
+	// Exactly the records with val < 10 survive.
+	want := 0
+	for i := 0; i < 100; i++ {
+		if int64(i*7%50) < 10 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Fatalf("survivors = %d, want %d", len(rows), want)
+	}
+}
+
+func TestWhereManyVsConsolidatedInGraph(t *testing.T) {
+	udfs := []*lang.Program{udf(0, 5), udf(1, 15), udf(2, 25), udf(3, 35)}
+
+	g1 := NewGraph(&toy{n: 120})
+	h1, err := WhereMany(g1.Source(), udfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := Collect(h1)
+	if err := g1.Run(2); err != nil {
+		t.Fatal(err)
+	}
+
+	g2 := NewGraph(&toy{n: 120})
+	h2, err := WhereConsolidated(g2.Source(), udfs, consolidate.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := Collect(h2)
+	if err := g2.Run(2); err != nil {
+		t.Fatal(err)
+	}
+
+	r1, r2 := s1.Rows(), s2.Rows()
+	if len(r1) != 120 || len(r2) != 120 {
+		t.Fatalf("row counts: %d, %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].Record != r2[i].Record {
+			t.Fatalf("row order mismatch at %d", i)
+		}
+		for q := range udfs {
+			if r1[i].Verdicts[q] != r2[i].Verdicts[q] {
+				t.Fatalf("record %d udf %d: whereMany=%v consolidated=%v",
+					r1[i].Record, q, r1[i].Verdicts[q], r2[i].Verdicts[q])
+			}
+		}
+	}
+}
+
+func TestChainedStages(t *testing.T) {
+	// Filter then annotate: where(val < 25) → whereMany([val<5, val<15]).
+	g := NewGraph(&toy{n: 100})
+	h, err := Where(g.Source(), udf(0, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err = WhereMany(h, []*lang.Program{udf(1, 5), udf(2, 15)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := Count(h)
+	if err := g.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := sink.Totals()
+	wantRows, want5, want15 := 0, 0, 0
+	for i := 0; i < 100; i++ {
+		v := int64(i * 7 % 50)
+		if v < 25 {
+			wantRows++
+			if v < 5 {
+				want5++
+			}
+			if v < 15 {
+				want15++
+			}
+		}
+	}
+	if rows != wantRows {
+		t.Fatalf("rows = %d, want %d", rows, wantRows)
+	}
+	// Columns: [where-verdict, q1, q2]; the where verdict is always true.
+	if len(cols) != 3 || cols[0] != wantRows || cols[1] != want5 || cols[2] != want15 {
+		t.Fatalf("cols = %v, want [%d %d %d]", cols, wantRows, want5, want15)
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	g := NewGraph(&toy{n: 10})
+	bad := lang.MustParse("func b(r) { v := nosuch(r); notify 1 (v == 0); }")
+	h, err := Where(g.Source(), bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Collect(h)
+	if err := g.Run(2); err == nil {
+		t.Fatal("runtime error must propagate out of Run")
+	}
+
+	// Graphs are single-use.
+	g2 := NewGraph(&toy{n: 10})
+	h2, err := Where(g2.Source(), udf(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Collect(h2)
+	if err := g2.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Run(1); err == nil {
+		t.Fatal("second Run must fail")
+	}
+
+	// Two-notify UDFs are rejected at construction.
+	two := lang.MustParse("func t(r) { notify 1 true; notify 2 false; }")
+	g3 := NewGraph(&toy{n: 10})
+	if _, err := Where(g3.Source(), two); err == nil {
+		t.Fatal("multi-notify UDF must be rejected")
+	}
+}
+
+func TestWorkerCountsStable(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		g := NewGraph(&toy{n: 101})
+		h, err := WhereMany(g.Source(), []*lang.Program{udf(0, 20)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := Count(h)
+		if err := g.Run(workers); err != nil {
+			t.Fatal(err)
+		}
+		rows, cols := sink.Totals()
+		if rows != 101 {
+			t.Fatalf("workers=%d: rows = %d", workers, rows)
+		}
+		want := 0
+		for i := 0; i < 101; i++ {
+			if int64(i*7%50) < 20 {
+				want++
+			}
+		}
+		if cols[0] != want {
+			t.Fatalf("workers=%d: matches = %d, want %d", workers, cols[0], want)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Package engine is a miniature data-parallel query engine in the style of
+// the Naiad system the paper builds on (Section 6.1): records stream from a
+// dataset through filter operators that evaluate user-defined functions
+// written in the formal language, with the stream partitioned across
+// workers. Two operators matter for the evaluation:
+//
+//   - WhereMany evaluates n UDFs sequentially per record in a single pass
+//     over the data (the paper's fair baseline — IO is already shared).
+//   - WhereConsolidated consolidates the n UDFs into one program first and
+//     evaluates that per record.
+//
+// Comparing the two isolates exactly the benefit of UDF consolidation, as
+// in Figures 9 and 10.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"consolidation/internal/consolidate"
+	"consolidation/internal/lang"
+)
+
+// RecordLibrary is a dataset: a sequence of records plus the library
+// functions UDFs use to access the current record's fields. SetRecord
+// performs any per-record decoding, so each pass over the data pays the
+// ingest cost exactly once per record, mirroring shared IO.
+type RecordLibrary interface {
+	lang.Library
+	// NumRecords reports the dataset size.
+	NumRecords() int
+	// SetRecord selects (and decodes) the record subsequent calls refer to.
+	SetRecord(i int)
+	// Clone returns an independent view for another worker goroutine.
+	Clone() RecordLibrary
+}
+
+// Metrics summarises one operator execution.
+type Metrics struct {
+	Records int
+	UDFs    int
+	// UDFCost is the summed abstract cost (Figure 2 semantics) of all UDF
+	// evaluations — the engine-independent measure of computation.
+	UDFCost int64
+	// UDFTime is wall time spent inside UDF evaluation.
+	UDFTime time.Duration
+	// TotalTime is wall time for the whole pass, including record decode
+	// and result collection.
+	TotalTime time.Duration
+	// Selected counts records each UDF accepted.
+	Selected []int
+	// LatencySum[q] accumulates, over all records, the abstract cost at
+	// which UDF q's notification was broadcast (counting, under whereMany,
+	// the cost of the UDFs that ran before it on that record). Divided by
+	// Records it is the mean notification latency the paper's Section 8
+	// discusses: consolidation optimises completion time and may trade
+	// individual-query latency for it.
+	LatencySum []int64
+}
+
+// MeanLatency returns the average notification latency of UDF q in cost
+// units, or 0 when nothing ran.
+func (m *Metrics) MeanLatency(q int) float64 {
+	if m.Records == 0 || q >= len(m.LatencySum) {
+		return 0
+	}
+	return float64(m.LatencySum[q]) / float64(m.Records)
+}
+
+// Result of a filter operator: Bools[i][q] reports whether record i passed
+// UDF q, plus metrics.
+type Result struct {
+	Bools [][]bool
+	Metrics
+}
+
+// Options configures operator execution.
+type Options struct {
+	// Workers is the number of parallel workers; 0 means GOMAXPROCS.
+	Workers int
+	// MaxSteps guards against diverging UDFs; 0 disables the guard.
+	MaxSteps int64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// notifyIDOf returns the single notification id a filter UDF broadcasts.
+func notifyIDOf(p *lang.Program) (int, error) {
+	ids := lang.NotifyIDs(p.Body)
+	if len(ids) != 1 {
+		return 0, fmt.Errorf("engine: UDF %s must notify exactly one id, has %d", p.Name, len(ids))
+	}
+	for id := range ids {
+		return id, nil
+	}
+	return 0, nil
+}
+
+func validateUDF(p *lang.Program) error {
+	if len(p.Params) != 1 {
+		return fmt.Errorf("engine: UDF %s must take exactly the record parameter", p.Name)
+	}
+	return nil
+}
+
+// WhereMany evaluates every UDF on every record in one pass, sequentially
+// per record — the whereMany operator of Section 6.1.
+func WhereMany(data RecordLibrary, udfs []*lang.Program, opts Options) (*Result, error) {
+	for _, p := range udfs {
+		if err := validateUDF(p); err != nil {
+			return nil, err
+		}
+	}
+	ids := make([]int, len(udfs))
+	for i, p := range udfs {
+		id, err := notifyIDOf(p)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	compiled := make([]*lang.Compiled, len(udfs))
+	for i, p := range udfs {
+		c, err := lang.Compile(p)
+		if err != nil {
+			return nil, fmt.Errorf("engine: compiling %s: %w", p.Name, err)
+		}
+		compiled[i] = c
+	}
+	start := time.Now()
+	res, err := runPass(data, opts, func(lib RecordLibrary) evalFn {
+		runners := make([]*lang.Runner, len(compiled))
+		for i, c := range compiled {
+			runners[i] = lang.NewRunner(c, lib)
+			runners[i].MaxSteps = opts.MaxSteps
+		}
+		return func(rec int, row []bool, lat []int64) (int64, time.Duration, error) {
+			var cost int64
+			var udfTime time.Duration
+			for q, rn := range runners {
+				t0 := time.Now()
+				notes, noteCosts, c, err := rn.Run([]int64{int64(rec)})
+				udfTime += time.Since(t0)
+				if err != nil {
+					return 0, 0, fmt.Errorf("engine: UDF %s on record %d: %w", udfs[q].Name, rec, err)
+				}
+				v, ok := notes[ids[q]]
+				if !ok {
+					return 0, 0, fmt.Errorf("engine: UDF %s did not notify id %d on record %d", udfs[q].Name, ids[q], rec)
+				}
+				// Sequential execution: this UDF's notification waited for
+				// all earlier UDFs on this record.
+				lat[q] += cost + noteCosts[ids[q]]
+				cost += c
+				row[q] = v
+			}
+			return cost, udfTime, nil
+		}
+	}, len(udfs))
+	if err != nil {
+		return nil, err
+	}
+	res.TotalTime = time.Since(start)
+	finishMetrics(res, len(udfs))
+	return res, nil
+}
+
+// ConsolidatedResult extends Result with consolidation statistics.
+type ConsolidatedResult struct {
+	Result
+	// ConsolidateTime is the time spent merging the UDFs (compile time).
+	ConsolidateTime time.Duration
+	Multi           *consolidate.MultiStats
+	// Merged is the consolidated program actually executed.
+	Merged *lang.Program
+}
+
+// WhereConsolidated consolidates the UDFs into a single program (notify ids
+// renumbered to UDF positions) and evaluates it once per record — the
+// whereConsolidated operator of Section 6.1.
+func WhereConsolidated(data RecordLibrary, udfs []*lang.Program, copts consolidate.Options, opts Options) (*ConsolidatedResult, error) {
+	for _, p := range udfs {
+		if err := validateUDF(p); err != nil {
+			return nil, err
+		}
+		if _, err := notifyIDOf(p); err != nil {
+			return nil, err
+		}
+	}
+	if copts.FuncCoster == nil {
+		copts.FuncCoster = data
+	}
+	t0 := time.Now()
+	merged, ms, err := consolidate.All(udfs, copts, true, true)
+	if err != nil {
+		return nil, err
+	}
+	consTime := time.Since(t0)
+
+	mergedC, err := lang.Compile(merged)
+	if err != nil {
+		return nil, fmt.Errorf("engine: compiling consolidated program: %w", err)
+	}
+	start := time.Now()
+	res, err := runPass(data, opts, func(lib RecordLibrary) evalFn {
+		rn := lang.NewRunner(mergedC, lib)
+		rn.MaxSteps = opts.MaxSteps
+		return func(rec int, row []bool, lat []int64) (int64, time.Duration, error) {
+			t0 := time.Now()
+			notes, noteCosts, cost, err := rn.Run([]int64{int64(rec)})
+			ut := time.Since(t0)
+			if err != nil {
+				return 0, 0, fmt.Errorf("engine: consolidated UDF on record %d: %w", rec, err)
+			}
+			for q := range udfs {
+				v, ok := notes[q]
+				if !ok {
+					return 0, 0, fmt.Errorf("engine: consolidated UDF missing notification %d on record %d", q, rec)
+				}
+				row[q] = v
+				lat[q] += noteCosts[q]
+			}
+			return cost, ut, nil
+		}
+	}, len(udfs))
+	if err != nil {
+		return nil, err
+	}
+	res.TotalTime = time.Since(start)
+	finishMetrics(res, len(udfs))
+	return &ConsolidatedResult{Result: *res, ConsolidateTime: consTime, Multi: ms, Merged: merged}, nil
+}
+
+// evalFn evaluates one record into a verdict row, returning (cost, udf
+// wall time).
+type evalFn func(rec int, row []bool, lat []int64) (int64, time.Duration, error)
+
+// runPass partitions records across workers; each worker owns a library
+// clone, compiled runners and a latency accumulator, and calls its evalFn
+// once per record.
+func runPass(data RecordLibrary, opts Options,
+	makeWorker func(lib RecordLibrary) evalFn,
+	nUDFs int) (*Result, error) {
+
+	n := data.NumRecords()
+	bools := make([][]bool, n)
+	workers := opts.workers()
+	if workers > n && n > 0 {
+		workers = n
+	}
+	if n == 0 {
+		return &Result{Bools: bools, Metrics: Metrics{UDFs: nUDFs, LatencySum: make([]int64, nUDFs)}}, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		cost     int64
+		udfTime  time.Duration
+		latency  = make([]int64, nUDFs)
+	)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			lib := data.Clone()
+			eval := makeWorker(lib)
+			var localCost int64
+			var localTime time.Duration
+			localLat := make([]int64, nUDFs)
+			for i := lo; i < hi; i++ {
+				lib.SetRecord(i)
+				row := make([]bool, nUDFs)
+				c, t, err := eval(i, row, localLat)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				bools[i] = row
+				localCost += c
+				localTime += t
+			}
+			mu.Lock()
+			cost += localCost
+			udfTime += localTime
+			for q, v := range localLat {
+				latency[q] += v
+			}
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Result{
+		Bools:   bools,
+		Metrics: Metrics{Records: n, UDFs: nUDFs, UDFCost: cost, UDFTime: udfTime, LatencySum: latency},
+	}, nil
+}
+
+func finishMetrics(r *Result, nUDFs int) {
+	r.Selected = make([]int, nUDFs)
+	for _, row := range r.Bools {
+		for q, v := range row {
+			if v {
+				r.Selected[q]++
+			}
+		}
+	}
+}
+
+// SameResults reports whether two operator results selected exactly the
+// same records per UDF; used to validate whereConsolidated against
+// whereMany.
+func SameResults(a, b *Result) bool {
+	if len(a.Bools) != len(b.Bools) {
+		return false
+	}
+	for i := range a.Bools {
+		if len(a.Bools[i]) != len(b.Bools[i]) {
+			return false
+		}
+		for q := range a.Bools[i] {
+			if a.Bools[i][q] != b.Bools[i][q] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TopSelective returns the udf indices sorted by selectivity (fewest
+// matches first); a convenience for reports.
+func TopSelective(r *Result) []int {
+	idx := make([]int, len(r.Selected))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return r.Selected[idx[i]] < r.Selected[idx[j]] })
+	return idx
+}

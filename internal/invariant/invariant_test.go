@@ -1,0 +1,116 @@
+package invariant
+
+import (
+	"testing"
+
+	"consolidation/internal/lang"
+	"consolidation/internal/smt"
+	"consolidation/internal/sym"
+)
+
+func hasInvariant(inv []lang.BoolExpr, want string) bool {
+	target := lang.MustParse("func t(x) { notify 1 (" + want + "); }").Body.(lang.Cond).Test
+	for _, f := range inv {
+		if lang.EqualBool(f, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestExample6 reproduces the invariant of the paper's Example 6: fusing
+//
+//	P1: i := α; while (i > 0) { i := i-1; t1 := f(i); x := x+t1 }
+//	P2: j := α-1; while (j ≥ 0) { t2 := f(j); y := y+t2; j := j-1 }
+//
+// the fused loop while (i > 0 ∧ j ≥ 0) { body1; body2 } has the invariant
+// j = i - 1, i.e. j - i = -1.
+func TestExample6(t *testing.T) {
+	ctx := sym.NewContext(smt.New())
+	// Precondition Ψ: i = α ∧ x = 0 ∧ j = α − 1 ∧ y = α.
+	ctx.AssumeAssign("i", lang.MustParseStmt("i := al;").(lang.Assign).E)
+	ctx.AssumeAssign("x", lang.IntConst{Value: 0})
+	ctx.AssumeAssign("j", lang.MustParseStmt("j := al - 1;").(lang.Assign).E)
+	ctx.AssumeAssign("y", lang.MustParseStmt("y := al;").(lang.Assign).E)
+
+	guard := lang.MustParse("func t(i, j) { notify 1 (i > 0 && j >= 0); }").Body.(lang.Cond).Test
+	body := lang.MustParseStmt(`
+  i := i - 1; t1 := f(i); x := x + t1;
+  t2 := f(j); y := y + t2; j := j - 1;`)
+
+	inv := Infer(ctx, guard, body, DefaultOptions())
+	if !hasInvariant(inv, "j - i == -1") && !hasInvariant(inv, "i - j == 1") {
+		t.Fatalf("missing j = i - 1 in inferred invariant: %s", String(inv))
+	}
+
+	// The invariant must discharge the Loop 2 side condition:
+	// Ψ1 ∧ ¬(e1 ∧ e2) ⊨ ¬e1 ∧ ¬e2.
+	c := sym.NewContext(ctx.Solver())
+	for _, f := range inv {
+		c.AssumeBool(f)
+	}
+	c.AssumeBool(lang.Not{E: guard})
+	nE1 := lang.MustParse("func t(i) { notify 1 (!(i > 0)); }").Body.(lang.Cond).Test
+	nE2 := lang.MustParse("func t(j) { notify 1 (!(j >= 0)); }").Body.(lang.Cond).Test
+	if !c.EntailsBool(nE1) || !c.EntailsBool(nE2) {
+		t.Fatalf("invariant %s does not prove equal iteration counts", String(inv))
+	}
+}
+
+// TestWeatherLoops mirrors Example 2: g1 iterates i = 2..12 (while i ≤ 12),
+// g2 iterates j = 1..11 (while j < 12, incrementing first); with bodies
+// fused in lockstep the invariant j = i - 1 holds.
+func TestWeatherLoops(t *testing.T) {
+	ctx := sym.NewContext(smt.New())
+	ctx.AssumeAssign("i", lang.IntConst{Value: 2})
+	ctx.AssumeAssign("j", lang.IntConst{Value: 1})
+	guard := lang.MustParse("func t(i, j) { notify 1 (i <= 12 && j < 12); }").Body.(lang.Cond).Test
+	body := lang.MustParseStmt(`t := getTemp(i); i := i + 1; j := j + 1; cur := getTemp(j);`)
+	inv := Infer(ctx, guard, body, DefaultOptions())
+	if !hasInvariant(inv, "i - j == 1") && !hasInvariant(inv, "j - i == -1") {
+		t.Fatalf("missing i - j = 1: %s", String(inv))
+	}
+}
+
+func TestBoundsInvariant(t *testing.T) {
+	ctx := sym.NewContext(smt.New())
+	ctx.AssumeAssign("i", lang.IntConst{Value: 0})
+	guard := lang.MustParse("func t(i) { notify 1 (i < 10); }").Body.(lang.Cond).Test
+	body := lang.MustParseStmt(`i := i + 1;`)
+	inv := Infer(ctx, guard, body, DefaultOptions())
+	// 0 ≤ i must survive; i ≤ 0 must not.
+	if !hasInvariant(inv, "0 <= i") {
+		t.Fatalf("missing 0 ≤ i: %s", String(inv))
+	}
+	if hasInvariant(inv, "i <= 0") {
+		t.Fatalf("i ≤ 0 is not inductive here: %s", String(inv))
+	}
+}
+
+func TestNonInductiveFiltered(t *testing.T) {
+	// x = y holds at entry but the body breaks it; must be filtered.
+	ctx := sym.NewContext(smt.New())
+	ctx.AssumeAssign("x", lang.IntConst{Value: 0})
+	ctx.AssumeAssign("y", lang.IntConst{Value: 0})
+	guard := lang.MustParse("func t(x) { notify 1 (x < 5); }").Body.(lang.Cond).Test
+	body := lang.MustParseStmt(`x := x + 1; y := y + 2;`)
+	inv := Infer(ctx, guard, body, DefaultOptions())
+	if hasInvariant(inv, "x - y == 0") {
+		t.Fatalf("x = y wrongly kept: %s", String(inv))
+	}
+	// x ≤ y IS inductive (x grows slower) and true at entry.
+	if !hasInvariant(inv, "x <= y") {
+		t.Fatalf("x ≤ y missing: %s", String(inv))
+	}
+}
+
+func TestInferDoesNotMutateContext(t *testing.T) {
+	ctx := sym.NewContext(smt.New())
+	ctx.AssumeAssign("i", lang.IntConst{Value: 2})
+	before := len(ctx.Conjuncts())
+	guard := lang.MustParse("func t(i) { notify 1 (i <= 12); }").Body.(lang.Cond).Test
+	Infer(ctx, guard, lang.MustParseStmt(`i := i + 1;`), DefaultOptions())
+	if len(ctx.Conjuncts()) != before {
+		t.Fatal("Infer mutated the caller's context")
+	}
+}

@@ -1,0 +1,446 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// Compiled is a slot-resolved form of a program: every variable is
+// pre-bound to an index into a flat frame, so evaluation performs no map
+// lookups. This mirrors the Steno-style UDF specialisation the paper cites
+// as complementary (Section 7): the merged programs consolidation produces
+// are large, and name-based environments would otherwise tax them more
+// than the small originals.
+//
+// Compiled evaluation implements exactly the cost semantics of Figure 2,
+// including per-notification cost stamps; RunCompiled agrees with
+// Interp.Run on every program (a property the tests check).
+type Compiled struct {
+	prog   *Program
+	nslots int
+	body   []cInstr
+	slotOf map[string]int
+}
+
+// cInstr is one compiled statement.
+type cInstr struct {
+	op   cOp
+	slot int      // assign target / notify id
+	val  bool     // notify value
+	ie   cExpr    // assign rhs
+	be   cBexpr   // cond/while test
+	blkA []cInstr // then / loop body
+	blkB []cInstr // else
+}
+
+type cOp uint8
+
+const (
+	cAssign cOp = iota
+	cNotify
+	cCond
+	cWhile
+)
+
+// cExpr evaluates an integer expression against the machine.
+type cExpr interface {
+	eval(m *cMachine) (int64, error)
+}
+
+// cBexpr evaluates a boolean expression.
+type cBexpr interface {
+	evalB(m *cMachine) (bool, error)
+}
+
+// Compile resolves p's variables to frame slots.
+func Compile(p *Program) (*Compiled, error) {
+	c := &Compiled{prog: p, slotOf: map[string]int{}}
+	for _, prm := range p.Params {
+		c.slot(prm)
+	}
+	body, err := c.compileStmt(p.Body)
+	if err != nil {
+		return nil, err
+	}
+	c.body = body
+	return c, nil
+}
+
+// MustCompile panics on error.
+func MustCompile(p *Program) *Compiled {
+	c, err := Compile(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Compiled) slot(name string) int {
+	if s, ok := c.slotOf[name]; ok {
+		return s
+	}
+	s := c.nslots
+	c.nslots++
+	c.slotOf[name] = s
+	return s
+}
+
+func (c *Compiled) compileStmt(s Stmt) ([]cInstr, error) {
+	var out []cInstr
+	for _, st := range Flatten(s) {
+		switch t := st.(type) {
+		case Assign:
+			ie, err := c.compileInt(t.E)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cInstr{op: cAssign, slot: c.slot(t.Var), ie: ie})
+		case Notify:
+			out = append(out, cInstr{op: cNotify, slot: t.ID, val: t.Value})
+		case Cond:
+			be, err := c.compileBool(t.Test)
+			if err != nil {
+				return nil, err
+			}
+			th, err := c.compileStmt(t.Then)
+			if err != nil {
+				return nil, err
+			}
+			el, err := c.compileStmt(t.Else)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cInstr{op: cCond, be: be, blkA: th, blkB: el})
+		case While:
+			be, err := c.compileBool(t.Test)
+			if err != nil {
+				return nil, err
+			}
+			body, err := c.compileStmt(t.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cInstr{op: cWhile, be: be, blkA: body})
+		default:
+			return nil, fmt.Errorf("lang: cannot compile %T", st)
+		}
+	}
+	return out, nil
+}
+
+// ---- compiled expressions ----
+
+type cConst struct{ v int64 }
+type cVar struct{ slot int }
+type cCall struct {
+	fn   string
+	cost int64 // resolved lazily against the library at run time when <0
+	args []cExpr
+}
+type cBin struct {
+	op   IntOp
+	l, r cExpr
+}
+
+type cCmp struct {
+	op   CmpOp
+	l, r cExpr
+}
+type cNot struct{ e cBexpr }
+type cBoolConst struct{ v bool }
+type cBinBool struct {
+	op   BoolOp
+	l, r cBexpr
+}
+
+func (c *Compiled) compileInt(e IntExpr) (cExpr, error) {
+	switch t := e.(type) {
+	case IntConst:
+		return cConst{v: t.Value}, nil
+	case Var:
+		return cVar{slot: c.slot(t.Name)}, nil
+	case Call:
+		args := make([]cExpr, len(t.Args))
+		for i, a := range t.Args {
+			ce, err := c.compileInt(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ce
+		}
+		return cCall{fn: t.Func, args: args}, nil
+	case BinInt:
+		l, err := c.compileInt(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compileInt(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return cBin{op: t.Op, l: l, r: r}, nil
+	}
+	return nil, fmt.Errorf("lang: cannot compile int expression %T", e)
+}
+
+func (c *Compiled) compileBool(e BoolExpr) (cBexpr, error) {
+	switch t := e.(type) {
+	case BoolConst:
+		return cBoolConst{v: t.Value}, nil
+	case Cmp:
+		l, err := c.compileInt(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compileInt(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return cCmp{op: t.Op, l: l, r: r}, nil
+	case Not:
+		b, err := c.compileBool(t.E)
+		if err != nil {
+			return nil, err
+		}
+		return cNot{e: b}, nil
+	case BinBool:
+		l, err := c.compileBool(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compileBool(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return cBinBool{op: t.Op, l: l, r: r}, nil
+	}
+	return nil, fmt.Errorf("lang: cannot compile bool expression %T", e)
+}
+
+// ---- machine ----
+
+type cMachine struct {
+	slots   []int64
+	defined []bool
+	lib     Library
+	cm      *CostModel
+	cost    int64
+	notes   Notifications
+	noteCst map[int]int64
+	steps   int64
+	maxStep int64
+	// per-machine call cost cache by function name
+	costCache map[string]int64
+}
+
+// Runner executes a Compiled program repeatedly with amortised frame
+// allocation. Not safe for concurrent use; create one per goroutine.
+type Runner struct {
+	c  *Compiled
+	m  cMachine
+	cm *CostModel
+	// MaxSteps bounds loop iterations per run; 0 disables.
+	MaxSteps int64
+}
+
+// NewRunner creates a runner against the given library.
+func NewRunner(c *Compiled, lib Library) *Runner {
+	r := &Runner{c: c, cm: DefaultCostModel()}
+	r.m = cMachine{
+		slots:     make([]int64, c.nslots),
+		defined:   make([]bool, c.nslots),
+		lib:       lib,
+		cm:        r.cm,
+		costCache: map[string]int64{},
+	}
+	return r
+}
+
+// Run executes the program, returning the notification environment, the
+// per-notification cost stamps, and the total cost.
+func (r *Runner) Run(args []int64) (Notifications, map[int]int64, int64, error) {
+	if len(args) != len(r.c.prog.Params) {
+		return nil, nil, 0, fmt.Errorf("lang: program %s expects %d arguments, got %d",
+			r.c.prog.Name, len(r.c.prog.Params), len(args))
+	}
+	m := &r.m
+	for i := range m.defined {
+		m.defined[i] = false
+	}
+	for i, a := range args {
+		m.slots[i] = a
+		m.defined[i] = true
+	}
+	m.cost = 0
+	m.steps = 0
+	m.maxStep = r.MaxSteps
+	m.notes = Notifications{}
+	m.noteCst = map[int]int64{}
+	if err := execBlock(m, r.c.body); err != nil {
+		return nil, nil, 0, err
+	}
+	return m.notes, m.noteCst, m.cost, nil
+}
+
+func execBlock(m *cMachine, blk []cInstr) error {
+	for i := range blk {
+		in := &blk[i]
+		switch in.op {
+		case cAssign:
+			v, err := in.ie.eval(m)
+			if err != nil {
+				return err
+			}
+			m.slots[in.slot] = v
+			m.defined[in.slot] = true
+			m.cost += m.cm.Assign
+		case cNotify:
+			if _, dup := m.notes[in.slot]; dup {
+				return fmt.Errorf("lang: duplicate notification for id %d", in.slot)
+			}
+			m.cost += m.cm.Notify
+			m.notes[in.slot] = in.val
+			m.noteCst[in.slot] = m.cost
+		case cCond:
+			b, err := in.be.evalB(m)
+			if err != nil {
+				return err
+			}
+			m.cost += m.cm.Branch
+			if b {
+				if err := execBlock(m, in.blkA); err != nil {
+					return err
+				}
+			} else if err := execBlock(m, in.blkB); err != nil {
+				return err
+			}
+		case cWhile:
+			for {
+				m.steps++
+				if m.maxStep > 0 && m.steps > m.maxStep {
+					return fmt.Errorf("lang: loop exceeded %d iterations", m.maxStep)
+				}
+				b, err := in.be.evalB(m)
+				if err != nil {
+					return err
+				}
+				m.cost += m.cm.Branch
+				if !b {
+					break
+				}
+				if err := execBlock(m, in.blkA); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (e cConst) eval(m *cMachine) (int64, error) {
+	m.cost += m.cm.IntConst
+	return e.v, nil
+}
+
+func (e cVar) eval(m *cMachine) (int64, error) {
+	if !m.defined[e.slot] {
+		return 0, fmt.Errorf("lang: unbound variable (slot %d)", e.slot)
+	}
+	m.cost += m.cm.Var
+	return m.slots[e.slot], nil
+}
+
+func (e cCall) eval(m *cMachine) (int64, error) {
+	args := make([]int64, len(e.args))
+	for i, a := range e.args {
+		v, err := a.eval(m)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	v, err := m.lib.Call(e.fn, args)
+	if err != nil {
+		return 0, err
+	}
+	fc, ok := m.costCache[e.fn]
+	if !ok {
+		if c, has := m.lib.FuncCost(e.fn); has {
+			fc = c
+		} else {
+			fc = m.cm.CallBase
+		}
+		m.costCache[e.fn] = fc
+	}
+	m.cost += fc
+	return v, nil
+}
+
+func (e cBin) eval(m *cMachine) (int64, error) {
+	l, err := e.l.eval(m)
+	if err != nil {
+		return 0, err
+	}
+	r, err := e.r.eval(m)
+	if err != nil {
+		return 0, err
+	}
+	m.cost += m.cm.Arith
+	switch e.op {
+	case Add:
+		return l + r, nil
+	case Sub:
+		return l - r, nil
+	default:
+		return l * r, nil
+	}
+}
+
+func (e cBoolConst) evalB(m *cMachine) (bool, error) {
+	m.cost += m.cm.BoolConst
+	return e.v, nil
+}
+
+func (e cCmp) evalB(m *cMachine) (bool, error) {
+	l, err := e.l.eval(m)
+	if err != nil {
+		return false, err
+	}
+	r, err := e.r.eval(m)
+	if err != nil {
+		return false, err
+	}
+	m.cost += m.cm.Cmp
+	switch e.op {
+	case Lt:
+		return l < r, nil
+	case Eq:
+		return l == r, nil
+	default:
+		return l <= r, nil
+	}
+}
+
+func (e cNot) evalB(m *cMachine) (bool, error) {
+	v, err := e.e.evalB(m)
+	if err != nil {
+		return false, err
+	}
+	m.cost += m.cm.Neg
+	return !v, nil
+}
+
+func (e cBinBool) evalB(m *cMachine) (bool, error) {
+	l, err := e.l.evalB(m)
+	if err != nil {
+		return false, err
+	}
+	r, err := e.r.evalB(m)
+	if err != nil {
+		return false, err
+	}
+	m.cost += m.cm.BoolOp
+	if e.op == And {
+		return l && r, nil
+	}
+	return l || r, nil
+}

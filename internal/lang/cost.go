@@ -1,0 +1,89 @@
+package lang
+
+// CostModel assigns abstract costs to each operation kind, mirroring the
+// abstract cost function of the operational semantics (Figure 2). Library
+// function costs come from the Library; the model supplies a default for
+// functions the library does not price.
+type CostModel struct {
+	IntConst  int64 // cost(int)
+	BoolConst int64 // cost(bool)
+	Var       int64 // cost(var)
+	Arith     int64 // cost(⊙) for + - *
+	Cmp       int64 // cost(▷) for < = <=
+	Neg       int64 // cost(¬)
+	BoolOp    int64 // cost(⋈) for ∧ ∨
+	Assign    int64 // cost(assign)
+	Notify    int64 // cost(notify)
+	Branch    int64 // cost(branch)
+	CallBase  int64 // fallback cost of a library call when the library has no price
+}
+
+// DefaultCostModel prices every primitive operation at 1 and unpriced
+// library calls at 10. Library functions backing dataset field accesses
+// declare their own, typically much larger, costs.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		IntConst:  1,
+		BoolConst: 1,
+		Var:       1,
+		Arith:     1,
+		Cmp:       1,
+		Neg:       1,
+		BoolOp:    1,
+		Assign:    1,
+		Notify:    1,
+		Branch:    1,
+		CallBase:  10,
+	}
+}
+
+// FuncCoster optionally prices library functions; Library implementations
+// usually satisfy it.
+type FuncCoster interface {
+	// FuncCost returns the abstract cost of calling the named function, or
+	// false when the function is unknown.
+	FuncCost(name string) (int64, bool)
+}
+
+// StaticIntCost is the cost of evaluating an integer expression. Because
+// expressions are branch-free, their evaluation cost is input-independent;
+// the cross-simplification judgments Ψ ⊢ e : e' compare exactly this cost.
+// fc may be nil, in which case all calls cost cm.CallBase.
+func (cm *CostModel) StaticIntCost(e IntExpr, fc FuncCoster) int64 {
+	switch t := e.(type) {
+	case IntConst:
+		return cm.IntConst
+	case Var:
+		return cm.Var
+	case Call:
+		c := cm.CallBase
+		if fc != nil {
+			if fcost, ok := fc.FuncCost(t.Func); ok {
+				c = fcost
+			}
+		}
+		for _, a := range t.Args {
+			c += cm.StaticIntCost(a, fc)
+		}
+		return c
+	case BinInt:
+		return cm.Arith + cm.StaticIntCost(t.L, fc) + cm.StaticIntCost(t.R, fc)
+	}
+	return 0
+}
+
+// StaticBoolCost is the cost of evaluating a boolean expression; see
+// StaticIntCost.
+func (cm *CostModel) StaticBoolCost(e BoolExpr, fc FuncCoster) int64 {
+	switch t := e.(type) {
+	case BoolConst:
+		return cm.BoolConst
+	case Cmp:
+		return cm.Cmp + cm.StaticIntCost(t.L, fc) + cm.StaticIntCost(t.R, fc)
+	case Not:
+		return cm.Neg + cm.StaticBoolCost(t.E, fc)
+	case BinBool:
+		return cm.BoolOp + cm.StaticBoolCost(t.L, fc) + cm.StaticBoolCost(t.R, fc)
+	}
+	return 0
+}

@@ -1,0 +1,291 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func testLib() *MapLibrary {
+	lib := &MapLibrary{}
+	lib.Define("f", 100, func(args []int64) (int64, error) { return args[0] * 2, nil })
+	lib.Define("g", 50, func(args []int64) (int64, error) { return args[0] + args[1], nil })
+	return lib
+}
+
+func TestParseAndFormatRoundTrip(t *testing.T) {
+	src := `
+func q1(r, a) {
+  x := f(r) + 1;
+  if (x > 10) {
+    notify 1 true;
+  } else {
+    notify 1 (x == 0);
+  }
+  i := 0;
+  while (i < 12) {
+    i := i + 1;
+  }
+}`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Name != "q1" || len(p.Params) != 2 {
+		t.Fatalf("bad header: %s %v", p.Name, p.Params)
+	}
+	text := Format(p)
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-Parse of %q: %v", text, err)
+	}
+	if Format(p2) != text {
+		t.Fatalf("format not stable:\n%s\nvs\n%s", text, Format(p2))
+	}
+}
+
+func TestParseSugar(t *testing.T) {
+	// >, >=, != and non-constant notify are sugar over the core language.
+	p := MustParse(`func s(a, b) { notify 3 (a >= b && a != 0); }`)
+	cond, ok := p.Body.(Cond)
+	if !ok {
+		t.Fatalf("notify sugar should produce a conditional, got %T", p.Body)
+	}
+	bb, ok := cond.Test.(BinBool)
+	if !ok || bb.Op != And {
+		t.Fatalf("expected conjunction test, got %v", cond.Test)
+	}
+	le, ok := bb.L.(Cmp)
+	if !ok || le.Op != Le {
+		t.Fatalf("a >= b should normalise to b <= a, got %v", bb.L)
+	}
+	if le.L.(Var).Name != "b" || le.R.(Var).Name != "a" {
+		t.Fatalf("a >= b should swap operands, got %v", le)
+	}
+	if _, ok := bb.R.(Not); !ok {
+		t.Fatalf("a != 0 should normalise to !(a == 0), got %v", bb.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"func f( {",
+		"func f() { x := ; }",
+		"func f() { if x { } }",         // missing comparison
+		"func f() { notify x true; }",   // id must be a number
+		"func f() { y := 1 }",           // missing semicolon
+		"func f() { while (1) { } }",    // int where bool expected
+		"func f() { x := 1; } trailing", // trailing junk
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestInterpCostAndNotifications(t *testing.T) {
+	p := MustParse(`
+func q(r) {
+  x := f(r);
+  if (x <= 4) { notify 1 true; } else { notify 1 false; }
+  notify 2 (x == 4);
+}`)
+	in := NewInterp(testLib())
+	res, err := in.Run(p, []int64{2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Notes.Equal(Notifications{1: true, 2: true}) {
+		t.Fatalf("notes = %v", res.Notes)
+	}
+	// cost: assign(var 1 + f 100 + assign 1) + cond(cmp: var+const+cmp =3, branch 1, notify 1)
+	//       + notify-sugar cond(cmp 3, branch 1, notify 1)
+	want := int64(1+100+1) + (3 + 1 + 1) + (3 + 1 + 1)
+	if res.Cost != want {
+		t.Fatalf("cost = %d, want %d", res.Cost, want)
+	}
+	if res.Env["x"] != 4 {
+		t.Fatalf("x = %d", res.Env["x"])
+	}
+}
+
+func TestInterpWhileAndMaxSteps(t *testing.T) {
+	p := MustParse(`
+func loop(n) {
+  i := 0;
+  s := 0;
+  while (i < n) { s := s + i; i := i + 1; }
+  notify 1 (s > 10);
+}`)
+	in := NewInterp(testLib())
+	res, err := in.Run(p, []int64{6})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Env["s"] != 15 || res.Notes[1] != true {
+		t.Fatalf("s=%d notes=%v", res.Env["s"], res.Notes)
+	}
+
+	div := MustParse(`func d() { i := 0; while (0 <= i) { i := i + 1; } }`)
+	in.MaxSteps = 1000
+	if _, err := in.Run(div, nil); err == nil {
+		t.Fatal("diverging loop should be caught by MaxSteps")
+	}
+}
+
+func TestInterpDuplicateNotify(t *testing.T) {
+	p := MustParse(`func d() { notify 1 true; notify 1 false; }`)
+	in := NewInterp(testLib())
+	if _, err := in.Run(p, nil); err == nil {
+		t.Fatal("duplicate notification ids must be rejected (N1 ⊎ N2)")
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	in := NewInterp(testLib())
+	if _, err := in.Run(MustParse(`func u() { x := y + 1; }`), nil); err == nil {
+		t.Fatal("unbound variable should error")
+	}
+	if _, err := in.Run(MustParse(`func u(r) { x := nosuch(r); }`), []int64{1}); err == nil {
+		t.Fatal("undefined library function should error")
+	}
+	if _, err := in.Run(MustParse(`func u(a, b) {}`), []int64{1}); err == nil {
+		t.Fatal("arity mismatch should error")
+	}
+}
+
+func TestFlattenAndSeqOf(t *testing.T) {
+	s := MustParseStmt(`x := 1; skip; y := 2; z := 3;`)
+	fl := Flatten(s)
+	if len(fl) != 3 {
+		t.Fatalf("Flatten = %v", fl)
+	}
+	if SeqOf().String() != "skip;" {
+		t.Fatalf("SeqOf() = %v", SeqOf())
+	}
+	back := SeqOf(fl...)
+	if len(Flatten(back)) != 3 {
+		t.Fatalf("SeqOf/Flatten roundtrip failed: %v", back)
+	}
+}
+
+func TestStaticCosts(t *testing.T) {
+	cm := DefaultCostModel()
+	lib := testLib()
+	e := MustParse(`func c(a) { x := f(a) + 1; }`).Body.(Assign).E
+	if got := cm.StaticIntCost(e, lib); got != 1+100+1+1 {
+		t.Fatalf("StaticIntCost = %d", got)
+	}
+	be := Cmp{Op: Lt, L: Var{Name: "a"}, R: IntConst{Value: 3}}
+	if got := cm.StaticBoolCost(be, lib); got != 3 {
+		t.Fatalf("StaticBoolCost = %d", got)
+	}
+	// Unknown functions get the CallBase fallback.
+	unknown := Call{Func: "mystery", Args: []IntExpr{Var{Name: "a"}}}
+	if got := cm.StaticIntCost(unknown, lib); got != cm.CallBase+1 {
+		t.Fatalf("fallback cost = %d", got)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	p := MustParse(`
+func h(r) {
+  a := f(r);
+  b := g(a, 1);
+  while (b < 10) { b := b + 1; }
+  notify 7 (a == b);
+}`)
+	if av := AssignedVars(p.Body); !av["a"] || !av["b"] || len(av) != 2 {
+		t.Fatalf("AssignedVars = %v", av)
+	}
+	if uv := UsedVars(p.Body); !uv["r"] || !uv["a"] || !uv["b"] {
+		t.Fatalf("UsedVars = %v", uv)
+	}
+	if cf := CalledFuncs(p.Body); !cf["f"] || !cf["g"] || len(cf) != 2 {
+		t.Fatalf("CalledFuncs = %v", cf)
+	}
+	if ids := NotifyIDs(p.Body); !ids[7] || len(ids) != 1 {
+		t.Fatalf("NotifyIDs = %v", ids)
+	}
+	renamed := RenameVars(p.Body, func(v string) string {
+		if v == "r" {
+			return v
+		}
+		return "p0_" + v
+	})
+	if av := AssignedVars(renamed); !av["p0_a"] || av["a"] {
+		t.Fatalf("RenameVars = %v", av)
+	}
+	ren := RenameNotifyIDs(p.Body, func(id int) int { return id + 100 })
+	if ids := NotifyIDs(ren); !ids[107] {
+		t.Fatalf("RenameNotifyIDs = %v", ids)
+	}
+	if n := Size(p.Body); n < 10 {
+		t.Fatalf("Size = %d", n)
+	}
+}
+
+func TestEqualExprs(t *testing.T) {
+	a := MustParseStmt(`x := f(r) + 1;`).(Assign).E
+	b := MustParseStmt(`x := f(r) + 1;`).(Assign).E
+	c := MustParseStmt(`x := f(r) + 2;`).(Assign).E
+	if !EqualInt(a, b) || EqualInt(a, c) {
+		t.Fatal("EqualInt misbehaves")
+	}
+	ba := Not{E: Cmp{Op: Eq, L: Var{Name: "x"}, R: IntConst{Value: 1}}}
+	bb := Not{E: Cmp{Op: Eq, L: Var{Name: "x"}, R: IntConst{Value: 1}}}
+	bc := Cmp{Op: Eq, L: Var{Name: "x"}, R: IntConst{Value: 1}}
+	if !EqualBool(ba, bb) || EqualBool(ba, bc) {
+		t.Fatal("EqualBool misbehaves")
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	progs, err := ParseAll(`
+func a() { notify 1 true; }
+func b() { notify 2 false; }`)
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(progs) != 2 || progs[0].Name != "a" || progs[1].Name != "b" {
+		t.Fatalf("ParseAll = %v", progs)
+	}
+}
+
+func TestParenDisambiguation(t *testing.T) {
+	// Parenthesised integer operand of a comparison.
+	p := MustParse(`func p(x, y) { notify 1 ((x + 1) < y); }`)
+	if !strings.Contains(p.Body.String(), "<") {
+		t.Fatalf("parse = %v", p.Body)
+	}
+	// Parenthesised boolean operand of a conjunction.
+	p2 := MustParse(`func p(x, y) { notify 1 ((x < y) && (y < 10)); }`)
+	cond := p2.Body.(Cond)
+	if _, ok := cond.Test.(BinBool); !ok {
+		t.Fatalf("parse = %v", cond.Test)
+	}
+}
+
+func TestNoteCosts(t *testing.T) {
+	p := MustParse(`
+func l(r) {
+  notify 1 true;
+  x := f(r);
+  notify 2 (x > 0);
+}`)
+	in := NewInterp(testLib())
+	res, err := in.Run(p, []int64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// notify 1 happens before the expensive call, notify 2 after.
+	if res.NoteCosts[1] >= res.NoteCosts[2] {
+		t.Fatalf("NoteCosts = %v", res.NoteCosts)
+	}
+	if res.NoteCosts[2] != res.Cost {
+		t.Fatalf("final notification cost %d should equal total %d", res.NoteCosts[2], res.Cost)
+	}
+	if res.NoteCosts[1] != in.CM.Notify {
+		t.Fatalf("first notification latency = %d, want %d", res.NoteCosts[1], in.CM.Notify)
+	}
+}

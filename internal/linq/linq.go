@@ -1,0 +1,759 @@
+// Package linq compiles C#-style filter lambdas — the surface syntax of
+// the paper's LINQ queries (Section 6.1) — into the formal UDF language
+// that the consolidation calculus operates on.
+//
+// A filter is a lambda over the record parameter:
+//
+//	fi => fi.airline.name.toLower() == "united" || fi.price < 200
+//
+// or a statement lambda with local bindings:
+//
+//	wi => {
+//	    var t = wi.getTempOfMonth(3);
+//	    return t > 15 && wi.rainOfMonth(3) < 20;
+//	}
+//
+// Lowering rules:
+//
+//   - field access r.price becomes the library call price(r); chains
+//     compose outside-in: fi.airline.name becomes name(airline(fi)).
+//   - method syntax r.f(a, b) becomes f(r, a, b); free calls f(a) stay.
+//   - every library call is bound to a fresh local in evaluation order,
+//     the shape that exposes memoization to the consolidator.
+//   - string literals are interned to integer identifiers via a Strings
+//     table the caller shares with its record library.
+//   - the ternary e ? a : b lowers to a conditional assignment (ints) or
+//     to (e && a) || (!e && b) (bools).
+//
+// The boolean operators do not short-circuit: the formal semantics of the
+// paper (Figure 2) evaluates both operands, and library calls are pure and
+// total, so hoisting calls out of operand position preserves meaning.
+package linq
+
+import (
+	"fmt"
+	"sort"
+
+	"consolidation/internal/lang"
+)
+
+// Strings interns string literals to integer identifiers, shared between
+// compiled queries and the record library that answers string-valued
+// fields.
+type Strings struct {
+	byText map[string]int64
+	byID   map[int64]string
+	next   int64
+}
+
+// NewStrings returns an empty interning table; identifiers start at 1.
+func NewStrings() *Strings {
+	return &Strings{byText: map[string]int64{}, byID: map[int64]string{}, next: 1}
+}
+
+// Intern returns the identifier for s, allocating one if needed.
+func (st *Strings) Intern(s string) int64 {
+	if id, ok := st.byText[s]; ok {
+		return id
+	}
+	id := st.next
+	st.next++
+	st.byText[s] = id
+	st.byID[id] = s
+	return id
+}
+
+// Lookup returns the text for an identifier.
+func (st *Strings) Lookup(id int64) (string, bool) {
+	s, ok := st.byID[id]
+	return s, ok
+}
+
+// Texts lists interned strings in identifier order.
+func (st *Strings) Texts() []string {
+	out := make([]string, 0, len(st.byText))
+	for s := range st.byText {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return st.byText[out[i]] < st.byText[out[j]] })
+	return out
+}
+
+// Compile compiles one filter lambda into a program named name that
+// notifies notifyID with the filter's verdict. Interned string literals are
+// recorded in st (which must not be nil when the source contains strings).
+func Compile(name, src string, notifyID int, st *Strings) (*lang.Program, error) {
+	c := &compiler{toks: lexLinq(src), strings: st}
+	prog, err := c.compile(name, notifyID)
+	if err != nil {
+		return nil, fmt.Errorf("linq: %w", err)
+	}
+	return prog, nil
+}
+
+// MustCompile is Compile for tests and examples.
+func MustCompile(name, src string, notifyID int, st *Strings) *lang.Program {
+	p, err := Compile(name, src, notifyID, st)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ---- lexer ----
+
+type ltokKind int
+
+const (
+	ltEOF ltokKind = iota
+	ltIdent
+	ltNumber
+	ltString
+	ltPunct
+)
+
+type ltok struct {
+	kind ltokKind
+	text string
+	pos  int
+}
+
+func lexLinq(src string) []ltok {
+	var toks []ltok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, ltok{ltIdent, src[i:j], i})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, ltok{ltNumber, src[i:j], i})
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				toks = append(toks, ltok{ltPunct, "unterminated string", i})
+				i = len(src)
+				break
+			}
+			toks = append(toks, ltok{ltString, src[i+1 : j], i})
+			i = j + 1
+		default:
+			for _, two := range []string{"=>", "==", "!=", "<=", ">=", "&&", "||"} {
+				if i+1 < len(src) && src[i:i+2] == two {
+					toks = append(toks, ltok{ltPunct, two, i})
+					i += 2
+					goto next
+				}
+			}
+			toks = append(toks, ltok{ltPunct, string(c), i})
+			i++
+		next:
+		}
+	}
+	toks = append(toks, ltok{ltEOF, "", len(src)})
+	return toks
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+// ---- surface AST ----
+
+type expr interface{ isExpr() }
+
+type eInt struct{ v int64 }
+type eString struct{ v string }
+type eBool struct{ v bool }
+type eVar struct{ name string }
+type eField struct {
+	recv expr
+	name string
+}
+type eCall struct {
+	recv expr // nil for free calls
+	name string
+	args []expr
+}
+type eUnary struct {
+	op string // "!" or "-"
+	e  expr
+}
+type eBin struct {
+	op   string
+	l, r expr
+}
+type eTernary struct{ cond, then, els expr }
+
+func (eInt) isExpr()     {}
+func (eString) isExpr()  {}
+func (eBool) isExpr()    {}
+func (eVar) isExpr()     {}
+func (eField) isExpr()   {}
+func (eCall) isExpr()    {}
+func (eUnary) isExpr()   {}
+func (eBin) isExpr()     {}
+func (eTernary) isExpr() {}
+
+// ---- parser ----
+
+type compiler struct {
+	toks    []ltok
+	pos     int
+	strings *Strings
+
+	param string
+	binds []lang.Stmt
+	tmp   int
+	// locals maps `var` names to the compiled variable they denote.
+	locals map[string]string
+}
+
+func (c *compiler) peek() ltok { return c.toks[c.pos] }
+
+// next consumes a token but never advances past the EOF sentinel.
+func (c *compiler) next() ltok {
+	t := c.toks[c.pos]
+	if t.kind != ltEOF {
+		c.pos++
+	}
+	return t
+}
+
+func (c *compiler) errf(format string, args ...any) error {
+	return fmt.Errorf("offset %d: %s", c.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (c *compiler) expect(text string) error {
+	if c.peek().text != text {
+		return c.errf("expected %q, found %q", text, c.peek().text)
+	}
+	c.next()
+	return nil
+}
+
+func (c *compiler) compile(name string, notifyID int) (*lang.Program, error) {
+	p := c.next()
+	if p.kind != ltIdent {
+		return nil, c.errf("expected lambda parameter, found %q", p.text)
+	}
+	c.param = p.text
+	c.locals = map[string]string{}
+	if err := c.expect("=>"); err != nil {
+		return nil, err
+	}
+
+	var test lang.BoolExpr
+	if c.peek().text == "{" {
+		c.next()
+		for c.peek().kind == ltIdent && c.peek().text == "var" {
+			c.next()
+			id := c.next()
+			if id.kind != ltIdent {
+				return nil, c.errf("expected variable name")
+			}
+			if err := c.expect("="); err != nil {
+				return nil, err
+			}
+			e, err := c.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ie, err := c.lowerInt(e)
+			if err != nil {
+				return nil, err
+			}
+			v := c.fresh()
+			c.binds = append(c.binds, lang.Assign{Var: v, E: ie})
+			c.locals[id.text] = v
+			if err := c.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.expect("return"); err != nil {
+			return nil, err
+		}
+		e, err := c.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.expect(";"); err != nil {
+			return nil, err
+		}
+		if err := c.expect("}"); err != nil {
+			return nil, err
+		}
+		test, err = c.lowerBool(e)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		e, err := c.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		test, err = c.lowerBool(e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c.peek().kind != ltEOF {
+		return nil, c.errf("unexpected trailing input %q", c.peek().text)
+	}
+
+	body := append(c.binds, lang.Cond{
+		Test: test,
+		Then: lang.Notify{ID: notifyID, Value: true},
+		Else: lang.Notify{ID: notifyID, Value: false},
+	})
+	return &lang.Program{Name: name, Params: []string{c.param}, Body: lang.SeqOf(body...)}, nil
+}
+
+func (c *compiler) parseExpr() (expr, error) { return c.parseTernary() }
+
+func (c *compiler) parseTernary() (expr, error) {
+	cond, err := c.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if c.peek().text != "?" {
+		return cond, nil
+	}
+	c.next()
+	then, err := c.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.expect(":"); err != nil {
+		return nil, err
+	}
+	els, err := c.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return eTernary{cond: cond, then: then, els: els}, nil
+}
+
+func (c *compiler) parseOr() (expr, error) {
+	l, err := c.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for c.peek().text == "||" {
+		c.next()
+		r, err := c.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = eBin{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (c *compiler) parseAnd() (expr, error) {
+	l, err := c.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for c.peek().text == "&&" {
+		c.next()
+		r, err := c.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = eBin{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (c *compiler) parseCmp() (expr, error) {
+	l, err := c.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch op := c.peek().text; op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		c.next()
+		r, err := c.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return eBin{op: op, l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (c *compiler) parseAdd() (expr, error) {
+	l, err := c.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for c.peek().text == "+" || c.peek().text == "-" {
+		op := c.next().text
+		r, err := c.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = eBin{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (c *compiler) parseMul() (expr, error) {
+	l, err := c.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for c.peek().text == "*" {
+		c.next()
+		r, err := c.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = eBin{op: "*", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (c *compiler) parseUnary() (expr, error) {
+	switch c.peek().text {
+	case "!":
+		c.next()
+		e, err := c.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return eUnary{op: "!", e: e}, nil
+	case "-":
+		c.next()
+		e, err := c.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return eUnary{op: "-", e: e}, nil
+	}
+	return c.parsePostfix()
+}
+
+func (c *compiler) parsePostfix() (expr, error) {
+	e, err := c.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if c.peek().text == "." {
+			c.next()
+			id := c.next()
+			if id.kind != ltIdent {
+				return nil, c.errf("expected member name after '.'")
+			}
+			if c.peek().text == "(" {
+				args, err := c.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				e = eCall{recv: e, name: id.text, args: args}
+			} else {
+				e = eField{recv: e, name: id.text}
+			}
+			continue
+		}
+		return e, nil
+	}
+}
+
+func (c *compiler) parseArgs() ([]expr, error) {
+	if err := c.expect("("); err != nil {
+		return nil, err
+	}
+	var args []expr
+	for c.peek().text != ")" {
+		a, err := c.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if c.peek().text == "," {
+			c.next()
+			continue
+		}
+		if c.peek().text != ")" {
+			return nil, c.errf("expected ',' or ')' in arguments")
+		}
+	}
+	c.next()
+	return args, nil
+}
+
+func (c *compiler) parsePrimary() (expr, error) {
+	t := c.peek()
+	switch {
+	case t.kind == ltNumber:
+		c.next()
+		var v int64
+		for i := 0; i < len(t.text); i++ {
+			v = v*10 + int64(t.text[i]-'0')
+		}
+		return eInt{v: v}, nil
+	case t.kind == ltString:
+		c.next()
+		return eString{v: t.text}, nil
+	case t.kind == ltIdent && t.text == "true":
+		c.next()
+		return eBool{v: true}, nil
+	case t.kind == ltIdent && t.text == "false":
+		c.next()
+		return eBool{v: false}, nil
+	case t.kind == ltIdent:
+		c.next()
+		if c.peek().text == "(" {
+			args, err := c.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return eCall{name: t.text, args: args}, nil
+		}
+		return eVar{name: t.text}, nil
+	case t.text == "(":
+		c.next()
+		e, err := c.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, c.errf("expected expression, found %q", t.text)
+}
+
+// ---- lowering ----
+
+func (c *compiler) fresh() string {
+	c.tmp++
+	return fmt.Sprintf("t%d", c.tmp)
+}
+
+// bindCall hoists a call into a fresh local and returns the variable.
+func (c *compiler) bindCall(call lang.IntExpr) lang.IntExpr {
+	v := c.fresh()
+	c.binds = append(c.binds, lang.Assign{Var: v, E: call})
+	return lang.Var{Name: v}
+}
+
+// isBoolExpr reports whether a surface expression is boolean-typed.
+func isBoolExpr(e expr) bool {
+	switch t := e.(type) {
+	case eBool:
+		return true
+	case eUnary:
+		return t.op == "!"
+	case eBin:
+		switch t.op {
+		case "&&", "||", "==", "!=", "<", "<=", ">", ">=":
+			return true
+		}
+		return false
+	case eTernary:
+		return isBoolExpr(t.then) || isBoolExpr(t.els)
+	}
+	return false
+}
+
+// lowerInt lowers an integer-typed surface expression, emitting bindings
+// for every call in evaluation order.
+func (c *compiler) lowerInt(e expr) (lang.IntExpr, error) {
+	switch t := e.(type) {
+	case eInt:
+		return lang.IntConst{Value: t.v}, nil
+	case eString:
+		if c.strings == nil {
+			return nil, fmt.Errorf("string literal %q without a Strings table", t.v)
+		}
+		return lang.IntConst{Value: c.strings.Intern(t.v)}, nil
+	case eVar:
+		if t.name == c.param {
+			return lang.Var{Name: t.name}, nil
+		}
+		if v, ok := c.locals[t.name]; ok {
+			return lang.Var{Name: v}, nil
+		}
+		return nil, fmt.Errorf("unknown variable %q", t.name)
+	case eField:
+		recv, err := c.lowerInt(t.recv)
+		if err != nil {
+			return nil, err
+		}
+		return c.bindCall(lang.Call{Func: t.name, Args: []lang.IntExpr{recv}}), nil
+	case eCall:
+		var args []lang.IntExpr
+		if t.recv != nil {
+			recv, err := c.lowerInt(t.recv)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, recv)
+		}
+		for _, a := range t.args {
+			ie, err := c.lowerInt(a)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, ie)
+		}
+		return c.bindCall(lang.Call{Func: t.name, Args: args}), nil
+	case eUnary:
+		if t.op != "-" {
+			return nil, fmt.Errorf("boolean expression where integer expected")
+		}
+		ie, err := c.lowerInt(t.e)
+		if err != nil {
+			return nil, err
+		}
+		if k, ok := ie.(lang.IntConst); ok {
+			return lang.IntConst{Value: -k.Value}, nil
+		}
+		return lang.BinInt{Op: lang.Sub, L: lang.IntConst{Value: 0}, R: ie}, nil
+	case eBin:
+		var op lang.IntOp
+		switch t.op {
+		case "+":
+			op = lang.Add
+		case "-":
+			op = lang.Sub
+		case "*":
+			op = lang.Mul
+		default:
+			return nil, fmt.Errorf("boolean operator %q where integer expected", t.op)
+		}
+		l, err := c.lowerInt(t.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.lowerInt(t.r)
+		if err != nil {
+			return nil, err
+		}
+		return lang.BinInt{Op: op, L: l, R: r}, nil
+	case eTernary:
+		// Conditional assignment into a fresh local.
+		cond, err := c.lowerBool(t.cond)
+		if err != nil {
+			return nil, err
+		}
+		thenE, err := c.lowerInt(t.then)
+		if err != nil {
+			return nil, err
+		}
+		elsE, err := c.lowerInt(t.els)
+		if err != nil {
+			return nil, err
+		}
+		v := c.fresh()
+		c.binds = append(c.binds, lang.Cond{
+			Test: cond,
+			Then: lang.Assign{Var: v, E: thenE},
+			Else: lang.Assign{Var: v, E: elsE},
+		})
+		return lang.Var{Name: v}, nil
+	}
+	return nil, fmt.Errorf("unsupported integer expression %T", e)
+}
+
+// lowerBool lowers a boolean-typed surface expression.
+func (c *compiler) lowerBool(e expr) (lang.BoolExpr, error) {
+	switch t := e.(type) {
+	case eBool:
+		return lang.BoolConst{Value: t.v}, nil
+	case eUnary:
+		if t.op != "!" {
+			return nil, fmt.Errorf("integer expression where boolean expected")
+		}
+		be, err := c.lowerBool(t.e)
+		if err != nil {
+			return nil, err
+		}
+		return lang.Not{E: be}, nil
+	case eBin:
+		switch t.op {
+		case "&&", "||":
+			l, err := c.lowerBool(t.l)
+			if err != nil {
+				return nil, err
+			}
+			r, err := c.lowerBool(t.r)
+			if err != nil {
+				return nil, err
+			}
+			op := lang.And
+			if t.op == "||" {
+				op = lang.Or
+			}
+			return lang.BinBool{Op: op, L: l, R: r}, nil
+		case "==", "!=", "<", "<=", ">", ">=":
+			l, err := c.lowerInt(t.l)
+			if err != nil {
+				return nil, err
+			}
+			r, err := c.lowerInt(t.r)
+			if err != nil {
+				return nil, err
+			}
+			switch t.op {
+			case "==":
+				return lang.Cmp{Op: lang.Eq, L: l, R: r}, nil
+			case "!=":
+				return lang.Not{E: lang.Cmp{Op: lang.Eq, L: l, R: r}}, nil
+			case "<":
+				return lang.Cmp{Op: lang.Lt, L: l, R: r}, nil
+			case "<=":
+				return lang.Cmp{Op: lang.Le, L: l, R: r}, nil
+			case ">":
+				return lang.Cmp{Op: lang.Lt, L: r, R: l}, nil
+			default: // >=
+				return lang.Cmp{Op: lang.Le, L: r, R: l}, nil
+			}
+		}
+		return nil, fmt.Errorf("integer operator %q where boolean expected", t.op)
+	case eTernary:
+		cond, err := c.lowerBool(t.cond)
+		if err != nil {
+			return nil, err
+		}
+		thenB, err := c.lowerBool(t.then)
+		if err != nil {
+			return nil, err
+		}
+		elsB, err := c.lowerBool(t.els)
+		if err != nil {
+			return nil, err
+		}
+		// c ? a : b  ≡  (c && a) || (!c && b)
+		return lang.BinBool{Op: lang.Or,
+			L: lang.BinBool{Op: lang.And, L: cond, R: thenB},
+			R: lang.BinBool{Op: lang.And, L: lang.Not{E: cond}, R: elsB},
+		}, nil
+	}
+	return nil, fmt.Errorf("expression is not boolean: %T", e)
+}

@@ -1,0 +1,193 @@
+package linq
+
+import (
+	"strings"
+	"testing"
+
+	"consolidation/internal/consolidate"
+	"consolidation/internal/lang"
+)
+
+func TestCompileFieldChain(t *testing.T) {
+	st := NewStrings()
+	p := MustCompile("f1", `fi => fi.airline.name == "united"`, 1, st)
+	text := lang.Format(p)
+	// fi.airline.name lowers to name(airline(fi)), each call bound.
+	if !strings.Contains(text, "airline(fi)") {
+		t.Fatalf("missing airline(fi):\n%s", text)
+	}
+	if !strings.Contains(text, "name(t1)") {
+		t.Fatalf("missing chained name call:\n%s", text)
+	}
+	id := st.Intern("united")
+	if id != 1 {
+		t.Fatalf("first interned string should get id 1, got %d", id)
+	}
+	if s, ok := st.Lookup(1); !ok || s != "united" {
+		t.Fatalf("Lookup(1) = %q, %v", s, ok)
+	}
+}
+
+func TestCompileMethodCall(t *testing.T) {
+	p := MustCompile("g", `wi => wi.getTempOfMonth(3) > 15`, 1, nil)
+	text := lang.Format(p)
+	if !strings.Contains(text, "getTempOfMonth(wi, 3)") {
+		t.Fatalf("method call not lowered with receiver first:\n%s", text)
+	}
+}
+
+func TestCompileFreeCall(t *testing.T) {
+	p := MustCompile("q", `c => getDistance(c.zip, 94305) < 10 && c.age > 18`, 1, nil)
+	text := lang.Format(p)
+	if !strings.Contains(text, "zip(c)") || !strings.Contains(text, "getDistance(t1, 94305)") {
+		t.Fatalf("free call lowering wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "age(c)") {
+		t.Fatalf("field lowering wrong:\n%s", text)
+	}
+}
+
+func TestCompileStatementLambda(t *testing.T) {
+	p := MustCompile("s", `r => {
+		var v = r.price;
+		var w = v + 10;
+		return w < 200 && v > 0;
+	}`, 1, nil)
+	lib := &lang.MapLibrary{}
+	lib.Define("price", 10, func(a []int64) (int64, error) { return a[0] * 30, nil })
+	in := lang.NewInterp(lib)
+	res, err := in.Run(p, []int64{3}) // price=90, w=100 → true
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Notes[1] != true {
+		t.Fatalf("notes = %v", res.Notes)
+	}
+	res, err = in.Run(p, []int64{7}) // price=210 → w=220 → false
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Notes[1] != false {
+		t.Fatalf("notes = %v", res.Notes)
+	}
+}
+
+func TestCompileTernaryInt(t *testing.T) {
+	p := MustCompile("t", `r => (r.price > 100 ? r.price - 100 : 0) < 50`, 1, nil)
+	lib := &lang.MapLibrary{}
+	lib.Define("price", 10, func(a []int64) (int64, error) { return a[0], nil })
+	in := lang.NewInterp(lib)
+	for _, c := range []struct {
+		price int64
+		want  bool
+	}{{40, true}, {120, true}, {180, false}} {
+		res, err := in.Run(p, []int64{c.price})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Notes[1] != c.want {
+			t.Fatalf("price %d: got %v, want %v", c.price, res.Notes[1], c.want)
+		}
+	}
+}
+
+func TestCompileTernaryBool(t *testing.T) {
+	p := MustCompile("t", `r => r.a > 0 ? r.b > 0 : r.c > 0`, 1, nil)
+	lib := &lang.MapLibrary{}
+	vals := map[string]int64{}
+	for _, f := range []string{"a", "b", "c"} {
+		name := f
+		lib.Define(name, 5, func(args []int64) (int64, error) { return vals[name], nil })
+	}
+	in := lang.NewInterp(lib)
+	cases := []struct {
+		a, b, c int64
+		want    bool
+	}{
+		{1, 1, -1, true}, {1, -1, 1, false}, {-1, 1, 1, true}, {-1, 1, -1, false},
+	}
+	for _, cse := range cases {
+		vals["a"], vals["b"], vals["c"] = cse.a, cse.b, cse.c
+		res, err := in.Run(p, []int64{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Notes[1] != cse.want {
+			t.Fatalf("a=%d b=%d c=%d: got %v", cse.a, cse.b, cse.c, res.Notes[1])
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`=> x`,
+		`r => `,
+		`r => unknownVar + 1 > 0`,
+		`r => r.price +`,
+		`r => (r.price > 0`,
+		`r => { var x = 1 return x > 0; }`,
+		`r => "str" == "other"`, // needs a Strings table
+		`r => r.price`,          // not boolean
+	}
+	for _, src := range bad {
+		if _, err := Compile("b", src, 1, nil); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+// TestPaperExampleThroughLINQ compiles the paper's Section 2 filters from
+// surface syntax, consolidates them, and checks the Example 1 outcome.
+func TestPaperExampleThroughLINQ(t *testing.T) {
+	st := NewStrings()
+	f1 := MustCompile("f1", `fi => fi.airlineName == "united" || fi.airlineName == "southwest"`, 1, st)
+	f2 := MustCompile("f2", `fi => fi.price < 200 && fi.airlineName == "united"`, 2, st)
+
+	opts := consolidate.DefaultOptions()
+	co := consolidate.New(opts)
+	merged, err := co.Pair(f1, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(lang.Format(merged), "airlineName(fi)"); n != 1 {
+		t.Errorf("airlineName should be fetched once, found %d:\n%s", n, lang.Format(merged))
+	}
+
+	united := st.Intern("united")
+	southwest := st.Intern("southwest")
+	lib := &lang.MapLibrary{}
+	lib.Define("airlineName", 40, func(a []int64) (int64, error) {
+		switch a[0] % 3 {
+		case 0:
+			return united, nil
+		case 1:
+			return southwest, nil
+		default:
+			return 99, nil
+		}
+	})
+	lib.Define("price", 20, func(a []int64) (int64, error) { return (a[0] * 57) % 400, nil })
+	var inputs [][]int64
+	for i := int64(0); i < 30; i++ {
+		inputs = append(inputs, []int64{i})
+	}
+	if err := consolidate.Verify([]*lang.Program{f1, f2}, merged, lib, nil, inputs, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringsTable(t *testing.T) {
+	st := NewStrings()
+	a := st.Intern("alpha")
+	b := st.Intern("beta")
+	if a == b || st.Intern("alpha") != a {
+		t.Fatal("interning broken")
+	}
+	if got := st.Texts(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("Texts = %v", got)
+	}
+	if _, ok := st.Lookup(99); ok {
+		t.Fatal("Lookup of unknown id should fail")
+	}
+}

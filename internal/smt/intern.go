@@ -1,0 +1,223 @@
+// Package smt implements a from-scratch SMT solver for the quantifier-free
+// combined theory of linear integer arithmetic and uninterpreted functions
+// (QF_UFLIA), the theory in which the consolidation calculus discharges its
+// validity queries Ψ ⊨ φ (Section 4). The original system used Z3; this
+// solver substitutes for it with the same API surface the calculus needs:
+// satisfiability checking and entailment.
+//
+// Architecture: formulas are reduced to CNF over a boolean abstraction of
+// their atoms (Tseitin encoding), a DPLL search with unit propagation and
+// theory-conflict blocking clauses enumerates boolean models, and each
+// candidate model is checked by a combined theory solver — congruence
+// closure for uninterpreted functions and a rational simplex with
+// branch-and-bound for integer arithmetic, exchanging equalities in the
+// style of Nelson–Oppen.
+//
+// The solver is deliberately conservative: Unknown results (resource caps,
+// incomplete nonlinear reasoning) are reported as "not entailed", which can
+// only cause the consolidator to miss an optimisation, never to produce an
+// unsound one.
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"consolidation/internal/logic"
+)
+
+// interner assigns node identifiers to terms so that congruence closure and
+// the arithmetic solver can share a view of the term DAG. Nonlinear
+// products (both factors non-constant) are canonicalised into applications
+// of the synthetic symbol "$mul" with sorted arguments, making them
+// uninterpreted-but-congruent: x*y and y*x share a node.
+type interner struct {
+	byKey map[string]int
+	nodes []inode
+}
+
+type inode struct {
+	key string
+	// fn is non-empty for application nodes (including "$mul"); such nodes
+	// participate in congruence closure.
+	fn       string
+	children []int
+	// constVal is set for integer constant nodes.
+	isConst  bool
+	constVal int64
+	// varName is set for variable nodes.
+	varName string
+}
+
+func newInterner() *interner {
+	return &interner{byKey: map[string]int{}}
+}
+
+func (in *interner) get(key string) (int, bool) {
+	id, ok := in.byKey[key]
+	return id, ok
+}
+
+func (in *interner) add(n inode) int {
+	if id, ok := in.byKey[n.key]; ok {
+		return id
+	}
+	id := len(in.nodes)
+	in.nodes = append(in.nodes, n)
+	in.byKey[n.key] = id
+	return id
+}
+
+// internConst interns an integer constant.
+func (in *interner) internConst(v int64) int {
+	return in.add(inode{key: fmt.Sprintf("#%d", v), isConst: true, constVal: v})
+}
+
+// internVar interns a variable.
+func (in *interner) internVar(name string) int {
+	return in.add(inode{key: "v:" + name, varName: name})
+}
+
+// internApp interns an application over already-interned children.
+func (in *interner) internApp(fn string, children []int) int {
+	parts := make([]string, len(children))
+	for i, c := range children {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	key := "a:" + fn + "(" + strings.Join(parts, ",") + ")"
+	return in.add(inode{key: key, fn: fn, children: children})
+}
+
+// internTerm interns a logic.Term, returning the node for the term itself.
+// Arithmetic structure is *not* flattened here; linearisation happens in
+// linOfTerm, which calls back into internTerm for opaque subterms.
+func (in *interner) internTerm(t logic.Term) int {
+	switch x := t.(type) {
+	case logic.TConst:
+		return in.internConst(x.Value)
+	case logic.TVar:
+		return in.internVar(x.Name)
+	case logic.TApp:
+		children := make([]int, len(x.Args))
+		for i, a := range x.Args {
+			children[i] = in.internTerm(a)
+		}
+		return in.internApp(x.Func, children)
+	case logic.TBin:
+		l := in.internTerm(x.L)
+		r := in.internTerm(x.R)
+		var fn string
+		switch x.Op {
+		case logic.Add:
+			fn = "$add"
+		case logic.Sub:
+			fn = "$sub"
+		case logic.Mul:
+			fn = "$mulraw"
+		}
+		return in.internApp(fn, []int{l, r})
+	}
+	panic("smt: unknown term")
+}
+
+// lin is a linear combination Σ coef[id]·entity(id) + c over "atomic"
+// arithmetic entities: variables, uninterpreted applications, and
+// canonicalised nonlinear products.
+type lin struct {
+	coef map[int]int64
+	c    int64
+}
+
+func newLin() lin { return lin{coef: map[int]int64{}} }
+
+func (l lin) addTerm(id int, k int64) lin {
+	l.coef[id] += k
+	if l.coef[id] == 0 {
+		delete(l.coef, id)
+	}
+	return l
+}
+
+func (l lin) scale(k int64) lin {
+	out := newLin()
+	out.c = l.c * k
+	for id, v := range l.coef {
+		if v*k != 0 {
+			out.coef[id] = v * k
+		}
+	}
+	return out
+}
+
+func (l lin) add(m lin) lin {
+	out := newLin()
+	out.c = l.c + m.c
+	for id, v := range l.coef {
+		out.coef[id] = v
+	}
+	for id, v := range m.coef {
+		out.coef[id] += v
+		if out.coef[id] == 0 {
+			delete(out.coef, id)
+		}
+	}
+	return out
+}
+
+func (l lin) isConst() bool { return len(l.coef) == 0 }
+
+// key returns a canonical string for the linear form (sorted by entity id).
+func (l lin) key() string {
+	ids := make([]int, 0, len(l.coef))
+	for id := range l.coef {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d*n%d+", l.coef[id], id)
+	}
+	fmt.Fprintf(&b, "%d", l.c)
+	return b.String()
+}
+
+// linOfTerm converts a term to a linear form, interning opaque subterms
+// (applications and nonlinear products) as atomic entities.
+func (in *interner) linOfTerm(t logic.Term) lin {
+	switch x := t.(type) {
+	case logic.TConst:
+		l := newLin()
+		l.c = x.Value
+		return l
+	case logic.TVar:
+		return newLin().addTerm(in.internVar(x.Name), 1)
+	case logic.TApp:
+		return newLin().addTerm(in.internTerm(x), 1)
+	case logic.TBin:
+		switch x.Op {
+		case logic.Add:
+			return in.linOfTerm(x.L).add(in.linOfTerm(x.R))
+		case logic.Sub:
+			return in.linOfTerm(x.L).add(in.linOfTerm(x.R).scale(-1))
+		case logic.Mul:
+			ll := in.linOfTerm(x.L)
+			lr := in.linOfTerm(x.R)
+			if ll.isConst() {
+				return lr.scale(ll.c)
+			}
+			if lr.isConst() {
+				return ll.scale(lr.c)
+			}
+			// Nonlinear: canonicalise as an uninterpreted product of the two
+			// subterm nodes, sorted to exploit commutativity.
+			a := in.internTerm(x.L)
+			b := in.internTerm(x.R)
+			if b < a {
+				a, b = b, a
+			}
+			return newLin().addTerm(in.internApp("$mul", []int{a, b}), 1)
+		}
+	}
+	panic("smt: unknown term in linOfTerm")
+}

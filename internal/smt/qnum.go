@@ -1,0 +1,202 @@
+package smt
+
+import "math/big"
+
+// qnum is a rational number with an int64 fast path. Simplex coefficients
+// in consolidation queries are tiny, so virtually all arithmetic stays in
+// machine words; any operation that would overflow promotes the value to a
+// big.Rat permanently. The zero value is 0.
+//
+// Invariants for the fast path (big == nil): den > 0 and gcd(|num|, den) = 1.
+type qnum struct {
+	num, den int64
+	big      *big.Rat
+}
+
+var (
+	qZero = qnum{num: 0, den: 1}
+	qOne  = qnum{num: 1, den: 1}
+)
+
+// qInt returns the rational v/1.
+func qInt(v int64) qnum { return qnum{num: v, den: 1} }
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// qnorm builds a normalised fast-path rational, assuming no overflow
+// occurred while producing n and d.
+func qnorm(n, d int64) qnum {
+	if d < 0 {
+		n, d = -n, -d
+	}
+	g := gcd64(n, d)
+	return qnum{num: n / g, den: d / g}
+}
+
+// mul64 multiplies with overflow detection.
+func mul64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	r := a * b
+	if r/a != b {
+		return 0, false
+	}
+	return r, true
+}
+
+func add64(a, b int64) (int64, bool) {
+	r := a + b
+	if (b > 0 && r < a) || (b < 0 && r > a) {
+		return 0, false
+	}
+	return r, true
+}
+
+func (q qnum) toBig() *big.Rat {
+	if q.big != nil {
+		return q.big
+	}
+	return big.NewRat(q.num, q.den)
+}
+
+func qFromBig(r *big.Rat) qnum {
+	if r.Num().IsInt64() && r.Denom().IsInt64() {
+		return qnum{num: r.Num().Int64(), den: r.Denom().Int64()}
+	}
+	return qnum{big: r}
+}
+
+// qAdd returns a + b.
+func qAdd(a, b qnum) qnum {
+	if a.big == nil && b.big == nil {
+		// a.num/a.den + b.num/b.den with cross-multiplication.
+		n1, ok1 := mul64(a.num, b.den)
+		n2, ok2 := mul64(b.num, a.den)
+		d, ok3 := mul64(a.den, b.den)
+		if ok1 && ok2 && ok3 {
+			if n, ok := add64(n1, n2); ok {
+				return qnorm(n, d)
+			}
+		}
+	}
+	return qFromBig(new(big.Rat).Add(a.toBig(), b.toBig()))
+}
+
+// qSub returns a - b.
+func qSub(a, b qnum) qnum { return qAdd(a, qNeg(b)) }
+
+// qNeg returns -a.
+func qNeg(a qnum) qnum {
+	if a.big == nil {
+		if a.num == -a.num && a.num != 0 { // MinInt64
+			return qFromBig(new(big.Rat).Neg(a.toBig()))
+		}
+		return qnum{num: -a.num, den: a.den}
+	}
+	return qFromBig(new(big.Rat).Neg(a.big))
+}
+
+// qMul returns a * b.
+func qMul(a, b qnum) qnum {
+	if a.big == nil && b.big == nil {
+		// Cross-reduce before multiplying to keep magnitudes small.
+		g1 := gcd64(a.num, b.den)
+		g2 := gcd64(b.num, a.den)
+		n1, d1 := a.num/g1, b.den/g1
+		n2, d2 := b.num/g2, a.den/g2
+		n, ok1 := mul64(n1, n2)
+		d, ok2 := mul64(d1, d2)
+		if ok1 && ok2 {
+			return qnorm(n, d)
+		}
+	}
+	return qFromBig(new(big.Rat).Mul(a.toBig(), b.toBig()))
+}
+
+// qDiv returns a / b; b must be nonzero.
+func qDiv(a, b qnum) qnum {
+	if b.big == nil {
+		return qMul(a, qnum{num: b.den, den: b.num, big: nil}.normSign())
+	}
+	return qFromBig(new(big.Rat).Quo(a.toBig(), b.toBig()))
+}
+
+func (q qnum) normSign() qnum {
+	if q.big == nil && q.den < 0 {
+		return qnum{num: -q.num, den: -q.den}
+	}
+	return q
+}
+
+// qCmp compares a and b: -1, 0, or +1.
+func qCmp(a, b qnum) int {
+	if a.big == nil && b.big == nil {
+		l, ok1 := mul64(a.num, b.den)
+		r, ok2 := mul64(b.num, a.den)
+		if ok1 && ok2 {
+			switch {
+			case l < r:
+				return -1
+			case l > r:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return a.toBig().Cmp(b.toBig())
+}
+
+// qSign reports the sign of a.
+func (q qnum) qSign() int {
+	if q.big == nil {
+		switch {
+		case q.num < 0:
+			return -1
+		case q.num > 0:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return q.big.Sign()
+}
+
+// qIsInt reports whether a is an integer.
+func (q qnum) qIsInt() bool {
+	if q.big == nil {
+		return q.den == 1
+	}
+	return q.big.IsInt()
+}
+
+// qFloorCeil returns ⌊q⌋ and ⌈q⌉ for a non-integer q.
+func qFloorCeil(q qnum) (qnum, qnum) {
+	if q.big == nil {
+		fl := q.num / q.den
+		if q.num < 0 && q.num%q.den != 0 {
+			fl--
+		}
+		return qInt(fl), qInt(fl + 1)
+	}
+	num := q.big.Num()
+	den := q.big.Denom()
+	fl := new(big.Int).Div(num, den)
+	cl := new(big.Int).Add(fl, big.NewInt(1))
+	return qFromBig(new(big.Rat).SetInt(fl)), qFromBig(new(big.Rat).SetInt(cl))
+}

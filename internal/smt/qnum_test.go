@@ -1,0 +1,102 @@
+package smt
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestQnumBasics(t *testing.T) {
+	a := qnorm(1, 2)
+	b := qnorm(1, 3)
+	if qCmp(qAdd(a, b), qnorm(5, 6)) != 0 {
+		t.Error("1/2 + 1/3 != 5/6")
+	}
+	if qCmp(qSub(a, b), qnorm(1, 6)) != 0 {
+		t.Error("1/2 - 1/3 != 1/6")
+	}
+	if qCmp(qMul(a, b), qnorm(1, 6)) != 0 {
+		t.Error("1/2 * 1/3 != 1/6")
+	}
+	if qCmp(qDiv(a, b), qnorm(3, 2)) != 0 {
+		t.Error("(1/2) / (1/3) != 3/2")
+	}
+	if qCmp(qNeg(a), qnorm(-1, 2)) != 0 {
+		t.Error("-(1/2) wrong")
+	}
+	if !qInt(7).qIsInt() || qnorm(1, 2).qIsInt() {
+		t.Error("qIsInt wrong")
+	}
+	if qnorm(-4, -8).num != 1 || qnorm(-4, -8).den != 2 {
+		t.Errorf("normalisation of -4/-8: %+v", qnorm(-4, -8))
+	}
+}
+
+func TestQnumFloorCeil(t *testing.T) {
+	cases := []struct {
+		n, d, fl, cl int64
+	}{
+		{7, 2, 3, 4},
+		{-7, 2, -4, -3},
+		{1, 3, 0, 1},
+		{-1, 3, -1, 0},
+	}
+	for _, c := range cases {
+		fl, cl := qFloorCeil(qnorm(c.n, c.d))
+		if qCmp(fl, qInt(c.fl)) != 0 || qCmp(cl, qInt(c.cl)) != 0 {
+			t.Errorf("floorCeil(%d/%d) = %v,%v want %d,%d", c.n, c.d, fl, cl, c.fl, c.cl)
+		}
+	}
+}
+
+// TestQnumAgainstBigRat property-checks every operation against math/big,
+// including values large enough to force the overflow fallback.
+func TestQnumAgainstBigRat(t *testing.T) {
+	check := func(an, ad, bn, bd int64) bool {
+		if ad == 0 || bd == 0 {
+			return true
+		}
+		a := qnorm(an, ad)
+		b := qnorm(bn, bd)
+		ra := new(big.Rat).SetFrac64(an, ad)
+		rb := new(big.Rat).SetFrac64(bn, bd)
+		if qAdd(a, b).toBig().Cmp(new(big.Rat).Add(ra, rb)) != 0 {
+			return false
+		}
+		if qMul(a, b).toBig().Cmp(new(big.Rat).Mul(ra, rb)) != 0 {
+			return false
+		}
+		if qSub(a, b).toBig().Cmp(new(big.Rat).Sub(ra, rb)) != 0 {
+			return false
+		}
+		if qCmp(a, b) != ra.Cmp(rb) {
+			return false
+		}
+		if bn != 0 {
+			if qDiv(a, b).toBig().Cmp(new(big.Rat).Quo(ra, rb)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberate overflow cases.
+	big1 := qnorm(math.MaxInt64-1, 3)
+	big2 := qnorm(math.MaxInt64-5, 7)
+	sum := qAdd(big1, big2)
+	want := new(big.Rat).Add(big1.toBig(), big2.toBig())
+	if sum.toBig().Cmp(want) != 0 {
+		t.Error("overflow fallback add wrong")
+	}
+	prod := qMul(big1, big2)
+	wantP := new(big.Rat).Mul(big1.toBig(), big2.toBig())
+	if prod.toBig().Cmp(wantP) != 0 {
+		t.Error("overflow fallback mul wrong")
+	}
+	if qCmp(big1, big2) != big1.toBig().Cmp(big2.toBig()) {
+		t.Error("overflow fallback cmp wrong")
+	}
+}

@@ -1,0 +1,191 @@
+package smt
+
+import (
+	"consolidation/internal/logic"
+)
+
+// cnfBuilder performs a Tseitin encoding of a formula into CNF. Variables
+// are 1-based; literals are ±var. Each distinct atom (by string) gets one
+// variable; composite subformulas get auxiliary variables.
+type cnfBuilder struct {
+	nvars   int
+	clauses [][]int
+	atomVar map[string]int
+	varAtom map[int]logic.FAtom
+}
+
+func newCNFBuilder() *cnfBuilder {
+	return &cnfBuilder{atomVar: map[string]int{}, varAtom: map[int]logic.FAtom{}}
+}
+
+func (b *cnfBuilder) fresh() int {
+	b.nvars++
+	return b.nvars
+}
+
+func (b *cnfBuilder) addClause(lits ...int) {
+	b.clauses = append(b.clauses, lits)
+}
+
+// encode returns a literal equisatisfiably representing f.
+func (b *cnfBuilder) encode(f logic.Formula) int {
+	switch x := f.(type) {
+	case logic.FTrue:
+		v := b.fresh()
+		b.addClause(v)
+		return v
+	case logic.FFalse:
+		v := b.fresh()
+		b.addClause(-v)
+		return v
+	case logic.FAtom:
+		k := x.String()
+		if v, ok := b.atomVar[k]; ok {
+			return v
+		}
+		v := b.fresh()
+		b.atomVar[k] = v
+		b.varAtom[v] = x
+		return v
+	case logic.FNot:
+		return -b.encode(x.F)
+	case logic.FAnd:
+		v := b.fresh()
+		all := make([]int, 0, len(x.Fs)+1)
+		for _, g := range x.Fs {
+			lg := b.encode(g)
+			b.addClause(-v, lg)
+			all = append(all, -lg)
+		}
+		all = append(all, v)
+		b.addClause(all...)
+		return v
+	case logic.FOr:
+		v := b.fresh()
+		all := make([]int, 0, len(x.Fs)+1)
+		for _, g := range x.Fs {
+			lg := b.encode(g)
+			b.addClause(v, -lg)
+			all = append(all, lg)
+		}
+		all = append(all, -v)
+		b.addClause(all...)
+		return v
+	}
+	panic("smt: unknown formula")
+}
+
+type satStatus int
+
+const (
+	satUnsat satStatus = iota
+	satSat
+	satUnknown
+)
+
+// solveSAT is a DPLL SAT solver with unit propagation and chronological
+// backtracking; adequate because consolidation queries are conjunctions of
+// literals with little boolean structure. The decision budget turns
+// pathological instances into satUnknown.
+func solveSAT(nvars int, clauses [][]int, maxDecisions int) (satStatus, []int8) {
+	assign := make([]int8, nvars+1)
+	decisions := 0
+	var rec func() satStatus
+	propagate := func(trail *[]int) bool {
+		for {
+			changed := false
+			for _, cl := range clauses {
+				unassigned := 0
+				last := 0
+				satisfied := false
+				for _, lit := range cl {
+					v := lit
+					if v < 0 {
+						v = -v
+					}
+					a := assign[v]
+					switch {
+					case a == 0:
+						unassigned++
+						last = lit
+					case (a == 1) == (lit > 0):
+						satisfied = true
+					}
+					if satisfied {
+						break
+					}
+				}
+				if satisfied {
+					continue
+				}
+				if unassigned == 0 {
+					return false // conflict
+				}
+				if unassigned == 1 {
+					v := last
+					if v < 0 {
+						assign[-v] = -1
+						*trail = append(*trail, -v)
+					} else {
+						assign[v] = 1
+						*trail = append(*trail, v)
+					}
+					changed = true
+				}
+			}
+			if !changed {
+				return true
+			}
+		}
+	}
+	rec = func() satStatus {
+		var trail []int
+		if !propagate(&trail) {
+			for _, v := range trail {
+				assign[v] = 0
+			}
+			return satUnsat
+		}
+		// Pick an unassigned variable.
+		pick := 0
+		for v := 1; v <= nvars; v++ {
+			if assign[v] == 0 {
+				pick = v
+				break
+			}
+		}
+		if pick == 0 {
+			return satSat
+		}
+		decisions++
+		if decisions > maxDecisions {
+			for _, v := range trail {
+				assign[v] = 0
+			}
+			return satUnknown
+		}
+		for _, val := range []int8{1, -1} {
+			assign[pick] = val
+			st := rec()
+			if st == satSat || st == satUnknown {
+				if st == satUnknown {
+					for _, v := range trail {
+						assign[v] = 0
+					}
+					assign[pick] = 0
+				}
+				return st
+			}
+			assign[pick] = 0
+		}
+		for _, v := range trail {
+			assign[v] = 0
+		}
+		return satUnsat
+	}
+	st := rec()
+	if st != satSat {
+		return st, nil
+	}
+	return satSat, assign
+}

@@ -1,0 +1,312 @@
+package smt
+
+// simplex is a general simplex solver in the style of Dutertre and de Moura
+// ("A Fast Linear-Arithmetic Solver for DPLL(T)"): variables carry optional
+// lower/upper bounds, slack variables are defined by tableau rows over the
+// structural variables, and feasibility is restored by pivoting with
+// Bland's rule. Arithmetic uses qnum, a rational with an int64 fast path
+// that promotes to big.Rat on overflow.
+type simplex struct {
+	n          int // total variables (structural + slack)
+	structural int // ids < structural are integer-constrained structural vars
+	rows       map[int]map[int]qnum
+	lower      map[int]qnum
+	upper      map[int]qnum
+	hasLower   map[int]bool
+	hasUpper   map[int]bool
+	beta       map[int]qnum
+	// pivots is shared across clones so that the whole branch-and-bound
+	// tree of one theory check draws from a single budget; per-clone
+	// budgets would multiply exponentially.
+	pivots    *int
+	maxPivots int
+}
+
+func newSimplex(structural, maxPivots int) *simplex {
+	return &simplex{
+		n:          structural,
+		structural: structural,
+		rows:       map[int]map[int]qnum{},
+		lower:      map[int]qnum{},
+		upper:      map[int]qnum{},
+		hasLower:   map[int]bool{},
+		hasUpper:   map[int]bool{},
+		beta:       map[int]qnum{},
+		pivots:     new(int),
+		maxPivots:  maxPivots,
+	}
+}
+
+func (s *simplex) val(x int) qnum {
+	if v, ok := s.beta[x]; ok {
+		return v
+	}
+	return qZero
+}
+
+// addSlack introduces a slack variable defined as the given combination of
+// existing variables (no constant part) and returns its id. The current
+// assignment is extended consistently.
+func (s *simplex) addSlack(combo map[int]qnum) int {
+	id := s.n
+	s.n++
+	row := map[int]qnum{}
+	v := qZero
+	for x, c := range combo {
+		if c.qSign() == 0 {
+			continue
+		}
+		if xrow, basic := s.rows[x]; basic {
+			// Substitute the basic variable by its row.
+			for y, cy := range xrow {
+				acc := qMul(c, cy)
+				if old, ok := row[y]; ok {
+					acc = qAdd(old, acc)
+				}
+				if acc.qSign() == 0 {
+					delete(row, y)
+				} else {
+					row[y] = acc
+				}
+			}
+		} else {
+			acc := c
+			if old, ok := row[x]; ok {
+				acc = qAdd(old, c)
+			}
+			if acc.qSign() == 0 {
+				delete(row, x)
+			} else {
+				row[x] = acc
+			}
+		}
+		v = qAdd(v, qMul(c, s.val(x)))
+	}
+	s.rows[id] = row
+	s.beta[id] = v
+	return id
+}
+
+// update changes the value of nonbasic variable x to v, adjusting all basic
+// variables.
+func (s *simplex) update(x int, v qnum) {
+	delta := qSub(v, s.val(x))
+	for b, row := range s.rows {
+		if c, ok := row[x]; ok {
+			s.beta[b] = qAdd(s.val(b), qMul(c, delta))
+		}
+	}
+	s.beta[x] = v
+}
+
+// assertLower tightens the lower bound of x; reports false on an immediate
+// bound conflict.
+func (s *simplex) assertLower(x int, c qnum) bool {
+	if s.hasLower[x] && qCmp(c, s.lower[x]) <= 0 {
+		return true
+	}
+	if s.hasUpper[x] && qCmp(c, s.upper[x]) > 0 {
+		return false
+	}
+	s.lower[x] = c
+	s.hasLower[x] = true
+	if _, basic := s.rows[x]; !basic && qCmp(s.val(x), c) < 0 {
+		s.update(x, c)
+	}
+	return true
+}
+
+// assertUpper tightens the upper bound of x; reports false on an immediate
+// bound conflict.
+func (s *simplex) assertUpper(x int, c qnum) bool {
+	if s.hasUpper[x] && qCmp(c, s.upper[x]) >= 0 {
+		return true
+	}
+	if s.hasLower[x] && qCmp(c, s.lower[x]) < 0 {
+		return false
+	}
+	s.upper[x] = c
+	s.hasUpper[x] = true
+	if _, basic := s.rows[x]; !basic && qCmp(s.val(x), c) > 0 {
+		s.update(x, c)
+	}
+	return true
+}
+
+// pivot exchanges basic x with nonbasic y.
+func (s *simplex) pivot(x, y int) {
+	xrow := s.rows[x]
+	a := xrow[y]
+	delete(s.rows, x)
+	// y = (x - Σ_{z≠y} xrow[z]·z) / a
+	yrow := map[int]qnum{x: qDiv(qOne, a)}
+	for z, cz := range xrow {
+		if z == y {
+			continue
+		}
+		yrow[z] = qNeg(qDiv(cz, a))
+	}
+	s.rows[y] = yrow
+	// Substitute y in all other rows.
+	for b, row := range s.rows {
+		if b == y {
+			continue
+		}
+		cy, ok := row[y]
+		if !ok {
+			continue
+		}
+		delete(row, y)
+		for z, cz := range yrow {
+			acc := qMul(cy, cz)
+			if old, ok := row[z]; ok {
+				acc = qAdd(old, acc)
+			}
+			if acc.qSign() == 0 {
+				delete(row, z)
+			} else {
+				row[z] = acc
+			}
+		}
+	}
+}
+
+// pivotAndUpdate makes basic x take value v by pivoting with nonbasic y.
+func (s *simplex) pivotAndUpdate(x, y int, v qnum) {
+	a := s.rows[x][y]
+	theta := qDiv(qSub(v, s.val(x)), a)
+	s.beta[x] = v
+	s.beta[y] = qAdd(s.val(y), theta)
+	for b, row := range s.rows {
+		if b == x {
+			continue
+		}
+		if c, ok := row[y]; ok {
+			s.beta[b] = qAdd(s.val(b), qMul(c, theta))
+		}
+	}
+	s.pivot(x, y)
+}
+
+// check restores feasibility; it reports false when the constraints are
+// infeasible and true when a satisfying rational assignment was found. A
+// pivot-budget overrun returns true together with budgetExceeded, which
+// callers must treat as "unknown".
+func (s *simplex) check() (feasible, budgetExceeded bool) {
+	for {
+		*s.pivots++
+		if *s.pivots > s.maxPivots {
+			return true, true
+		}
+		// Bland's rule: smallest violated basic variable.
+		x := -1
+		var target qnum
+		var below bool
+		for b := 0; b < s.n; b++ {
+			if _, basic := s.rows[b]; !basic {
+				continue
+			}
+			if s.hasLower[b] && qCmp(s.val(b), s.lower[b]) < 0 {
+				x, target, below = b, s.lower[b], true
+				break
+			}
+			if s.hasUpper[b] && qCmp(s.val(b), s.upper[b]) > 0 {
+				x, target, below = b, s.upper[b], false
+				break
+			}
+		}
+		if x < 0 {
+			return true, false
+		}
+		row := s.rows[x]
+		y := -1
+		for cand := 0; cand < s.n; cand++ {
+			c, ok := row[cand]
+			if !ok {
+				continue
+			}
+			sign := c.qSign()
+			if below {
+				// Need to increase x.
+				if sign > 0 {
+					if !s.hasUpper[cand] || qCmp(s.val(cand), s.upper[cand]) < 0 {
+						y = cand
+						break
+					}
+				} else if sign < 0 {
+					if !s.hasLower[cand] || qCmp(s.val(cand), s.lower[cand]) > 0 {
+						y = cand
+						break
+					}
+				}
+			} else {
+				// Need to decrease x.
+				if sign > 0 {
+					if !s.hasLower[cand] || qCmp(s.val(cand), s.lower[cand]) > 0 {
+						y = cand
+						break
+					}
+				} else if sign < 0 {
+					if !s.hasUpper[cand] || qCmp(s.val(cand), s.upper[cand]) < 0 {
+						y = cand
+						break
+					}
+				}
+			}
+		}
+		if y < 0 {
+			return false, false
+		}
+		s.pivotAndUpdate(x, y, target)
+	}
+}
+
+// clone copies the solver state; qnum values are immutable.
+func (s *simplex) clone() *simplex {
+	out := &simplex{
+		n:          s.n,
+		structural: s.structural,
+		rows:       make(map[int]map[int]qnum, len(s.rows)),
+		lower:      make(map[int]qnum, len(s.lower)),
+		upper:      make(map[int]qnum, len(s.upper)),
+		hasLower:   make(map[int]bool, len(s.hasLower)),
+		hasUpper:   make(map[int]bool, len(s.hasUpper)),
+		beta:       make(map[int]qnum, len(s.beta)),
+		pivots:     s.pivots,
+		maxPivots:  s.maxPivots,
+	}
+	for b, row := range s.rows {
+		r := make(map[int]qnum, len(row))
+		for k, v := range row {
+			r[k] = v
+		}
+		out.rows[b] = r
+	}
+	for k, v := range s.lower {
+		out.lower[k] = v
+	}
+	for k, v := range s.upper {
+		out.upper[k] = v
+	}
+	for k, v := range s.hasLower {
+		out.hasLower[k] = v
+	}
+	for k, v := range s.hasUpper {
+		out.hasUpper[k] = v
+	}
+	for k, v := range s.beta {
+		out.beta[k] = v
+	}
+	return out
+}
+
+// fractionalStructural returns a structural variable whose current value is
+// not an integer, or -1 when the assignment is integral on structural vars.
+func (s *simplex) fractionalStructural() int {
+	for x := 0; x < s.structural; x++ {
+		if !s.val(x).qIsInt() {
+			return x
+		}
+	}
+	return -1
+}

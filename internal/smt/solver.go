@@ -1,0 +1,225 @@
+package smt
+
+import (
+	"sort"
+
+	"consolidation/internal/logic"
+)
+
+// Result is the verdict of a satisfiability check.
+type Result int
+
+// Verdicts. Unknown arises from resource caps and incomplete nonlinear
+// reasoning and must be treated as "possibly satisfiable".
+const (
+	Unsat Result = iota
+	Sat
+	Unknown
+)
+
+func (r Result) String() string {
+	switch r {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	case Unknown:
+		return "unknown"
+	}
+	return "invalid"
+}
+
+// Stats counts solver activity, for the consolidation reports.
+type Stats struct {
+	Queries      int
+	CacheHits    int
+	SatIters     int
+	TheoryChecks int
+}
+
+// Solver answers satisfiability and entailment queries in QF_UFLIA. It
+// caches results by formula text: consolidation issues many identical
+// queries while walking similar UDFs. A Solver is not safe for concurrent
+// use; create one per goroutine.
+type Solver struct {
+	// MaxConflicts bounds CDCL search; exceeded means Unknown.
+	MaxConflicts int
+	// MaxLazyIters bounds the CEGAR loop between SAT core and theory.
+	MaxLazyIters int
+	// Theory configures the conjunction checker.
+	Theory theoryConfig
+
+	Stats Stats
+	cache map[string]Result
+}
+
+// New returns a solver with default budgets.
+func New() *Solver {
+	return &Solver{
+		MaxConflicts: 200000,
+		MaxLazyIters: 400,
+		Theory:       defaultTheoryConfig(),
+		cache:        map[string]Result{},
+	}
+}
+
+// Check decides satisfiability of f.
+func (s *Solver) Check(f logic.Formula) Result {
+	s.Stats.Queries++
+	key := f.String()
+	if r, ok := s.cache[key]; ok {
+		s.Stats.CacheHits++
+		return r
+	}
+	r := s.check(f)
+	s.cache[key] = r
+	return r
+}
+
+// Entails reports whether hyp ⊨ goal, i.e. hyp ∧ ¬goal is unsatisfiable.
+// It returns false when the solver cannot decide, which is the
+// conservative answer for the consolidation calculus.
+func (s *Solver) Entails(hyp, goal logic.Formula) bool {
+	return s.Check(logic.And(hyp, logic.Not(goal))) == Unsat
+}
+
+// EntailsAll is Entails with a conjunction of hypotheses.
+func (s *Solver) EntailsAll(hyps []logic.Formula, goal logic.Formula) bool {
+	return s.Entails(logic.And(hyps...), goal)
+}
+
+func (s *Solver) check(f logic.Formula) Result {
+	switch f.(type) {
+	case logic.FTrue:
+		return Sat
+	case logic.FFalse:
+		return Unsat
+	}
+	// Fast path: consolidation queries are overwhelmingly pure conjunctions
+	// of literals (a context Ψ plus one negated goal literal). Those need no
+	// SAT search at all — a single theory check decides them.
+	if lits, ok := literalConjunction(logic.NNF(f)); ok {
+		s.Stats.TheoryChecks++
+		switch checkTheory(lits, s.Theory) {
+		case theoryUnsat:
+			return Unsat
+		case theorySat:
+			return Sat
+		default:
+			return Unknown
+		}
+	}
+	b := newCNFBuilder()
+	root := b.encode(f)
+	b.addClause(root)
+
+	clauses := b.clauses
+	for iter := 0; iter < s.MaxLazyIters; iter++ {
+		s.Stats.SatIters++
+		st, model := solveCDCL(b.nvars, clauses, s.MaxConflicts)
+		if st == satUnsat {
+			return Unsat
+		}
+		if st == satUnknown {
+			return Unknown
+		}
+		// Extract the theory literals from the boolean model, in variable
+		// order so that theory-solver behaviour (interning, probe order) is
+		// deterministic across runs.
+		var lits []theoryLit
+		var vars []int
+		for v := range b.varAtom {
+			vars = append(vars, v)
+		}
+		sort.Ints(vars)
+		kept := vars[:0]
+		for _, v := range vars {
+			if model[v] == 0 {
+				continue
+			}
+			lits = append(lits, theoryLit{atom: b.varAtom[v], pos: model[v] == 1})
+			kept = append(kept, v)
+		}
+		vars = kept
+		s.Stats.TheoryChecks++
+		switch checkTheory(lits, s.Theory) {
+		case theorySat:
+			return Sat
+		case theoryUnknown:
+			// Cannot certify the model nor refute it; answering Sat keeps
+			// entailment conservative, but Unknown is more honest.
+			return Unknown
+		}
+		// Theory conflict: minimise it and add a blocking clause.
+		core, coreVars := s.minimizeCore(lits, vars)
+		clause := make([]int, len(core))
+		for i := range core {
+			if core[i].pos {
+				clause[i] = -coreVars[i]
+			} else {
+				clause[i] = coreVars[i]
+			}
+		}
+		clauses = append(clauses, clause)
+	}
+	return Unknown
+}
+
+// literalConjunction recognises a formula in NNF that is a conjunction of
+// literals and extracts them; second result is false otherwise.
+func literalConjunction(f logic.Formula) ([]theoryLit, bool) {
+	var lits []theoryLit
+	var walk func(logic.Formula) bool
+	walk = func(f logic.Formula) bool {
+		switch x := f.(type) {
+		case logic.FTrue:
+			return true
+		case logic.FAtom:
+			lits = append(lits, theoryLit{atom: x, pos: true})
+			return true
+		case logic.FNot:
+			if a, ok := x.F.(logic.FAtom); ok {
+				lits = append(lits, theoryLit{atom: a, pos: false})
+				return true
+			}
+			return false
+		case logic.FAnd:
+			for _, g := range x.Fs {
+				if !walk(g) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	if !walk(f) {
+		return nil, false
+	}
+	return lits, true
+}
+
+// minimizeCore shrinks an inconsistent literal set by deletion: drop a
+// literal, re-check, keep the drop if still inconsistent. Bounded so that
+// large conjunctions do not trigger quadratic re-checking.
+func (s *Solver) minimizeCore(lits []theoryLit, vars []int) ([]theoryLit, []int) {
+	const maxMinimize = 48
+	if len(lits) > maxMinimize {
+		return lits, vars
+	}
+	core := append([]theoryLit(nil), lits...)
+	cvars := append([]int(nil), vars...)
+	for i := 0; i < len(core); {
+		trial := make([]theoryLit, 0, len(core)-1)
+		trial = append(trial, core[:i]...)
+		trial = append(trial, core[i+1:]...)
+		s.Stats.TheoryChecks++
+		if checkTheory(trial, s.Theory) == theoryUnsat {
+			core = trial
+			cvars = append(cvars[:i], cvars[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	return core, cvars
+}

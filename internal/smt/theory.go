@@ -1,0 +1,364 @@
+package smt
+
+import (
+	"consolidation/internal/logic"
+)
+
+// theoryLit is an atom with a polarity, the unit the combined theory solver
+// reasons about.
+type theoryLit struct {
+	atom logic.FAtom
+	pos  bool
+}
+
+// theoryStatus is the outcome of a conjunction check.
+type theoryStatus int
+
+const (
+	theoryUnsat theoryStatus = iota
+	theorySat
+	theoryUnknown
+)
+
+// theoryConfig bounds the effort of a single conjunction check.
+type theoryConfig struct {
+	maxPivots   int
+	branchDepth int
+	noEqRounds  int // Nelson–Oppen LIA→CC equality propagation rounds
+	noEqProbes  int // budget of simplex probes across all rounds
+}
+
+func defaultTheoryConfig() theoryConfig {
+	return theoryConfig{maxPivots: 2500, branchDepth: 10, noEqRounds: 3, noEqProbes: 16}
+}
+
+// checkTheory decides satisfiability of a conjunction of literals in
+// QF_UFLIA. It is sound for both answers; theoryUnknown is returned when a
+// resource cap was hit, and callers must treat it as "possibly sat".
+func checkTheory(lits []theoryLit, cfg theoryConfig) theoryStatus {
+	in := newInterner()
+
+	type liaConstraint struct {
+		l     lin
+		upper bool // l ≤ 0 when upper, l = 0 when eq
+		eq    bool
+	}
+	var constraints []liaConstraint
+	var diseqLins []lin
+	type ccEq struct{ a, b int }
+	var ccEqs, ccNeqs []ccEq
+
+	// Intern literal sides and derive arithmetic constraints. Comparisons
+	// normalise to "lin ≤ 0" over integers; strict < becomes ≤ -1.
+	for _, lt := range lits {
+		l := in.internTerm(lt.atom.L)
+		r := in.internTerm(lt.atom.R)
+		diff := in.linOfTerm(lt.atom.L).add(in.linOfTerm(lt.atom.R).scale(-1))
+		switch {
+		case lt.atom.Pred == logic.Eq && lt.pos:
+			ccEqs = append(ccEqs, ccEq{l, r})
+			constraints = append(constraints, liaConstraint{l: diff, eq: true})
+		case lt.atom.Pred == logic.Eq && !lt.pos:
+			ccNeqs = append(ccNeqs, ccEq{l, r})
+			diseqLins = append(diseqLins, diff)
+		case lt.atom.Pred == logic.Le && lt.pos:
+			constraints = append(constraints, liaConstraint{l: diff, upper: true})
+		case lt.atom.Pred == logic.Le && !lt.pos:
+			// ¬(l ≤ r)  ⇔  r ≤ l - 1  ⇔  r - l + 1 ≤ 0
+			neg := diff.scale(-1)
+			neg.c++
+			constraints = append(constraints, liaConstraint{l: neg, upper: true})
+		case lt.atom.Pred == logic.Lt && lt.pos:
+			d := diff
+			d.c++
+			constraints = append(constraints, liaConstraint{l: d, upper: true})
+		case lt.atom.Pred == logic.Lt && !lt.pos:
+			// ¬(l < r) ⇔ r ≤ l ⇔ r - l ≤ 0
+			constraints = append(constraints, liaConstraint{l: diff.scale(-1), upper: true})
+		}
+	}
+
+	// Definitional constraints for interpreted interior nodes. The node
+	// slice can grow while we process it ($mulraw canonicalisation).
+	var defs []lin
+	for id := 0; id < len(in.nodes); id++ {
+		nd := in.nodes[id]
+		switch nd.fn {
+		case "$add":
+			l := newLin().addTerm(id, 1).addTerm(nd.children[0], -1).addTerm(nd.children[1], -1)
+			defs = append(defs, l)
+		case "$sub":
+			l := newLin().addTerm(id, 1).addTerm(nd.children[0], -1).addTerm(nd.children[1], 1)
+			defs = append(defs, l)
+		case "$mulraw":
+			a, b := nd.children[0], nd.children[1]
+			na, nb := in.nodes[a], in.nodes[b]
+			switch {
+			case na.isConst && nb.isConst:
+				l := newLin().addTerm(id, 1)
+				l.c = -na.constVal * nb.constVal
+				defs = append(defs, l)
+			case na.isConst:
+				l := newLin().addTerm(id, 1).addTerm(b, -na.constVal)
+				defs = append(defs, l)
+			case nb.isConst:
+				l := newLin().addTerm(id, 1).addTerm(a, -nb.constVal)
+				defs = append(defs, l)
+			default:
+				x, y := a, b
+				if y < x {
+					x, y = y, x
+				}
+				m := in.internApp("$mul", []int{x, y})
+				defs = append(defs, newLin().addTerm(id, 1).addTerm(m, -1))
+			}
+		default:
+			if nd.isConst {
+				l := newLin().addTerm(id, 1)
+				l.c = -nd.constVal
+				defs = append(defs, l)
+			}
+		}
+	}
+
+	// Congruence closure.
+	cc := newCongruence(in)
+	for _, e := range ccEqs {
+		cc.assertEq(e.a, e.b)
+	}
+	for _, e := range ccNeqs {
+		cc.assertNeq(e.a, e.b)
+	}
+	if cc.conflict {
+		return theoryUnsat
+	}
+
+	// Candidate pairs for Nelson–Oppen equality propagation: an equality
+	// between two nodes only matters to congruence closure when they occur
+	// as the same argument position of two applications of the same
+	// function, so we bucket argument nodes by (function, position) and
+	// probe within buckets only.
+	argBuckets := map[string][]int{}
+	for id := 0; id < len(in.nodes); id++ {
+		nd := in.nodes[id]
+		if nd.fn == "" {
+			continue
+		}
+		for pos, ch := range nd.children {
+			key := nd.fn + "#" + itoa(pos)
+			argBuckets[key] = append(argBuckets[key], ch)
+		}
+	}
+	var candPairs [][2]int
+	for _, bucket := range argBuckets {
+		seen := map[int]bool{}
+		var uniq []int
+		for _, id := range bucket {
+			if !seen[id] {
+				seen[id] = true
+				uniq = append(uniq, id)
+			}
+		}
+		for i := 0; i < len(uniq); i++ {
+			for j := i + 1; j < len(uniq); j++ {
+				candPairs = append(candPairs, [2]int{uniq[i], uniq[j]})
+			}
+		}
+	}
+
+	probeBudget := cfg.noEqProbes
+	for round := 0; ; round++ {
+		// Build the arithmetic problem: structural variables are the node
+		// proxies; each distinct linear form gets one slack variable.
+		sx := newSimplex(len(in.nodes), cfg.maxPivots)
+		slackOf := map[string]int{}
+		getSlack := func(l lin) int {
+			k := l.key()
+			if s, ok := slackOf[k]; ok {
+				return s
+			}
+			combo := map[int]qnum{}
+			for id, c := range l.coef {
+				combo[id] = qInt(c)
+			}
+			s := sx.addSlack(combo)
+			slackOf[k] = s
+			return s
+		}
+		feasible := true
+		assertLe := func(l lin) { // Σ coef + c ≤ 0
+			s := getSlack(l)
+			if !sx.assertUpper(s, qInt(-l.c)) {
+				feasible = false
+			}
+		}
+		assertEq0 := func(l lin) {
+			s := getSlack(l)
+			if !sx.assertUpper(s, qInt(-l.c)) || !sx.assertLower(s, qInt(-l.c)) {
+				feasible = false
+			}
+		}
+		for _, d := range defs {
+			assertEq0(d)
+		}
+		for _, con := range constraints {
+			if con.eq {
+				assertEq0(con.l)
+			} else {
+				assertLe(con.l)
+			}
+		}
+		// Equalities derived by congruence closure.
+		allNodes := make([]int, len(in.nodes))
+		for i := range allNodes {
+			allNodes[i] = i
+		}
+		for _, p := range cc.congruentPairs(allNodes) {
+			assertEq0(newLin().addTerm(p[0], 1).addTerm(p[1], -1))
+		}
+		if !feasible {
+			return theoryUnsat
+		}
+		// Disequality slacks (bounded during branch & bound).
+		var diseqSlacks []int
+		var diseqConsts []int64
+		for _, d := range diseqLins {
+			diseqSlacks = append(diseqSlacks, getSlack(d))
+			diseqConsts = append(diseqConsts, d.c)
+		}
+
+		st := solveInt(sx, diseqSlacks, diseqConsts, cfg.branchDepth)
+		if st != theorySat {
+			return st
+		}
+		if round >= cfg.noEqRounds {
+			return theorySat
+		}
+		// Nelson–Oppen: probe for LIA-implied equalities between candidate
+		// argument nodes whose proxies coincide in the current model but
+		// whose CC classes differ; assert them into CC and retry.
+		progress := false
+		for _, pair := range candPairs {
+			a, b := pair[0], pair[1]
+			if cc.find(a) == cc.find(b) {
+				continue
+			}
+			if qCmp(sx.val(a), sx.val(b)) != 0 {
+				continue
+			}
+			// Is a ≠ b infeasible? Probe both strict sides; a budget
+			// overrun counts as feasible (no propagation), which is the
+			// conservative direction.
+			if probeBudget <= 0 {
+				break
+			}
+			probeBudget--
+			lo := sx.clone()
+			s1 := lo.addSlack(map[int]qnum{a: qOne, b: qInt(-1)})
+			okLo := lo.assertUpper(s1, qInt(-1))
+			if okLo {
+				okLo, _ = lo.check()
+			}
+			hi := sx.clone()
+			s2 := hi.addSlack(map[int]qnum{a: qOne, b: qInt(-1)})
+			okHi := hi.assertLower(s2, qInt(1))
+			if okHi {
+				okHi, _ = hi.check()
+			}
+			if !okLo && !okHi {
+				cc.assertEq(a, b)
+				if cc.conflict {
+					return theoryUnsat
+				}
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			return theorySat
+		}
+	}
+}
+
+// solveInt runs branch & bound for integrality on top of a feasible-or-not
+// rational simplex, then splits on violated disequalities. diseqConsts[i]
+// is the constant part of the i-th disequality's linear form: the slack
+// must avoid the value -c.
+func solveInt(s *simplex, diseqSlacks []int, diseqConsts []int64, depth int) theoryStatus {
+	feasible, over := s.check()
+	if !feasible {
+		return theoryUnsat
+	}
+	if over {
+		return theoryUnknown
+	}
+	if x := s.fractionalStructural(); x >= 0 {
+		if depth == 0 {
+			return theoryUnknown
+		}
+		fl, cl := qFloorCeil(s.val(x))
+		var anyUnknown bool
+		lo := s.clone()
+		if lo.assertUpper(x, fl) {
+			switch solveInt(lo, diseqSlacks, diseqConsts, depth-1) {
+			case theorySat:
+				// Propagate the integral model back so Nelson–Oppen probing
+				// sees it.
+				*s = *lo
+				return theorySat
+			case theoryUnknown:
+				anyUnknown = true
+			}
+		}
+		hi := s.clone()
+		if hi.assertLower(x, cl) {
+			switch solveInt(hi, diseqSlacks, diseqConsts, depth-1) {
+			case theorySat:
+				*s = *hi
+				return theorySat
+			case theoryUnknown:
+				anyUnknown = true
+			}
+		}
+		if anyUnknown {
+			return theoryUnknown
+		}
+		return theoryUnsat
+	}
+	// Integral: check disequalities.
+	for i, sl := range diseqSlacks {
+		avoid := qInt(-diseqConsts[i])
+		if qCmp(s.val(sl), avoid) != 0 {
+			continue
+		}
+		if depth == 0 {
+			return theoryUnknown
+		}
+		var anyUnknown bool
+		lo := s.clone()
+		if lo.assertUpper(sl, qSub(avoid, qOne)) {
+			switch solveInt(lo, diseqSlacks, diseqConsts, depth-1) {
+			case theorySat:
+				*s = *lo
+				return theorySat
+			case theoryUnknown:
+				anyUnknown = true
+			}
+		}
+		hi := s.clone()
+		if hi.assertLower(sl, qAdd(avoid, qOne)) {
+			switch solveInt(hi, diseqSlacks, diseqConsts, depth-1) {
+			case theorySat:
+				*s = *hi
+				return theorySat
+			case theoryUnknown:
+				anyUnknown = true
+			}
+		}
+		if anyUnknown {
+			return theoryUnknown
+		}
+		return theoryUnsat
+	}
+	return theorySat
+}

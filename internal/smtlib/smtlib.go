@@ -1,0 +1,392 @@
+// Package smtlib implements a small SMT-LIB v2 front end for the internal
+// solver — enough of the standard to write QF_UFLIA benchmarks by hand and
+// to debug consolidation entailments outside the calculus:
+//
+//	(declare-fun x () Int)
+//	(declare-fun f (Int) Int)
+//	(assert (and (> x 0) (= (f x) 3)))
+//	(check-sat)
+//	(reset)
+//
+// Supported commands: declare-fun, declare-const, assert, check-sat,
+// reset, set-logic, set-info, echo, exit. Supported term operators: + - *
+// < <= > >= = distinct not and or => ite (boolean), integer literals, and
+// applications of declared functions.
+package smtlib
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"consolidation/internal/logic"
+	"consolidation/internal/smt"
+)
+
+// Interp executes SMT-LIB scripts against a fresh solver per (reset).
+type Interp struct {
+	solver     *smt.Solver
+	assertions []logic.Formula
+	declared   map[string]int // name → arity
+	out        *strings.Builder
+}
+
+// New returns an interpreter.
+func New() *Interp {
+	return &Interp{
+		solver:   smt.New(),
+		declared: map[string]int{},
+		out:      &strings.Builder{},
+	}
+}
+
+// Run executes a whole script and returns its output (one line per
+// check-sat / echo).
+func (in *Interp) Run(src string) (string, error) {
+	in.out.Reset()
+	sexprs, err := parseAll(src)
+	if err != nil {
+		return in.out.String(), err
+	}
+	for _, e := range sexprs {
+		if err := in.command(e); err != nil {
+			return in.out.String(), err
+		}
+	}
+	return in.out.String(), nil
+}
+
+// ---- s-expression reader ----
+
+type sexpr struct {
+	atom string
+	list []sexpr
+	pos  int
+}
+
+func (s sexpr) isAtom() bool { return s.list == nil }
+
+func parseAll(src string) ([]sexpr, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []sexpr
+	i := 0
+	for i < len(toks) {
+		e, next, err := parseSexpr(toks, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		i = next
+	}
+	return out, nil
+}
+
+type tok struct {
+	text string
+	pos  int
+}
+
+func tokenize(src string) ([]tok, error) {
+	var toks []tok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ';':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == ')':
+			toks = append(toks, tok{string(c), i})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("smtlib: unterminated string at %d", i)
+			}
+			toks = append(toks, tok{src[i : j+1], i})
+			i = j + 1
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\n\r();\"", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, tok{src[i:j], i})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func parseSexpr(toks []tok, i int) (sexpr, int, error) {
+	if i >= len(toks) {
+		return sexpr{}, i, fmt.Errorf("smtlib: unexpected end of input")
+	}
+	t := toks[i]
+	if t.text == "(" {
+		i++
+		var list []sexpr
+		for {
+			if i >= len(toks) {
+				return sexpr{}, i, fmt.Errorf("smtlib: missing ')' (opened at %d)", t.pos)
+			}
+			if toks[i].text == ")" {
+				return sexpr{list: list, pos: t.pos}, i + 1, nil
+			}
+			e, next, err := parseSexpr(toks, i)
+			if err != nil {
+				return sexpr{}, i, err
+			}
+			list = append(list, e)
+			i = next
+		}
+	}
+	if t.text == ")" {
+		return sexpr{}, i, fmt.Errorf("smtlib: unexpected ')' at %d", t.pos)
+	}
+	return sexpr{atom: t.text, pos: t.pos}, i + 1, nil
+}
+
+// ---- commands ----
+
+func (in *Interp) command(e sexpr) error {
+	if e.isAtom() || len(e.list) == 0 || !e.list[0].isAtom() {
+		return fmt.Errorf("smtlib: expected a command at %d", e.pos)
+	}
+	head := e.list[0].atom
+	args := e.list[1:]
+	switch head {
+	case "set-logic", "set-info", "set-option", "exit":
+		return nil
+	case "echo":
+		if len(args) == 1 && args[0].isAtom() {
+			fmt.Fprintln(in.out, strings.Trim(args[0].atom, `"`))
+		}
+		return nil
+	case "reset":
+		in.solver = smt.New()
+		in.assertions = nil
+		in.declared = map[string]int{}
+		return nil
+	case "declare-const":
+		if len(args) != 2 || !args[0].isAtom() {
+			return fmt.Errorf("smtlib: declare-const wants (declare-const name Int)")
+		}
+		in.declared[args[0].atom] = 0
+		return nil
+	case "declare-fun":
+		if len(args) != 3 || !args[0].isAtom() || args[1].isAtom() {
+			return fmt.Errorf("smtlib: declare-fun wants (declare-fun name (Int...) Int)")
+		}
+		in.declared[args[0].atom] = len(args[1].list)
+		return nil
+	case "assert":
+		if len(args) != 1 {
+			return fmt.Errorf("smtlib: assert wants one formula")
+		}
+		f, err := in.formula(args[0])
+		if err != nil {
+			return err
+		}
+		in.assertions = append(in.assertions, f)
+		return nil
+	case "check-sat":
+		r := in.solver.Check(logic.And(in.assertions...))
+		fmt.Fprintln(in.out, r.String())
+		return nil
+	}
+	return fmt.Errorf("smtlib: unsupported command %q at %d", head, e.pos)
+}
+
+// ---- terms and formulas ----
+
+func (in *Interp) term(e sexpr) (logic.Term, error) {
+	if e.isAtom() {
+		if v, err := strconv.ParseInt(e.atom, 10, 64); err == nil {
+			return logic.Num(v), nil
+		}
+		if arity, ok := in.declared[e.atom]; ok {
+			if arity != 0 {
+				return nil, fmt.Errorf("smtlib: %q takes %d arguments", e.atom, arity)
+			}
+			return logic.V(e.atom), nil
+		}
+		return nil, fmt.Errorf("smtlib: undeclared symbol %q at %d", e.atom, e.pos)
+	}
+	if len(e.list) == 0 || !e.list[0].isAtom() {
+		return nil, fmt.Errorf("smtlib: bad term at %d", e.pos)
+	}
+	head := e.list[0].atom
+	args := e.list[1:]
+	switch head {
+	case "+", "*":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("smtlib: %q wants ≥2 arguments", head)
+		}
+		acc, err := in.term(args[0])
+		if err != nil {
+			return nil, err
+		}
+		op := logic.Add
+		if head == "*" {
+			op = logic.Mul
+		}
+		for _, a := range args[1:] {
+			t, err := in.term(a)
+			if err != nil {
+				return nil, err
+			}
+			acc = logic.TBin{Op: op, L: acc, R: t}
+		}
+		return acc, nil
+	case "-":
+		if len(args) == 1 {
+			t, err := in.term(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return logic.TBin{Op: logic.Sub, L: logic.Num(0), R: t}, nil
+		}
+		if len(args) != 2 {
+			return nil, fmt.Errorf("smtlib: '-' wants 1 or 2 arguments")
+		}
+		l, err := in.term(args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.term(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return logic.TBin{Op: logic.Sub, L: l, R: r}, nil
+	}
+	arity, ok := in.declared[head]
+	if !ok {
+		return nil, fmt.Errorf("smtlib: undeclared function %q at %d", head, e.pos)
+	}
+	if arity != len(args) {
+		return nil, fmt.Errorf("smtlib: %q wants %d arguments, got %d", head, arity, len(args))
+	}
+	ts := make([]logic.Term, len(args))
+	for i, a := range args {
+		t, err := in.term(a)
+		if err != nil {
+			return nil, err
+		}
+		ts[i] = t
+	}
+	return logic.TApp{Func: head, Args: ts}, nil
+}
+
+func (in *Interp) formula(e sexpr) (logic.Formula, error) {
+	if e.isAtom() {
+		switch e.atom {
+		case "true":
+			return logic.FTrue{}, nil
+		case "false":
+			return logic.FFalse{}, nil
+		}
+		return nil, fmt.Errorf("smtlib: expected a formula at %d, found %q", e.pos, e.atom)
+	}
+	if len(e.list) == 0 || !e.list[0].isAtom() {
+		return nil, fmt.Errorf("smtlib: bad formula at %d", e.pos)
+	}
+	head := e.list[0].atom
+	args := e.list[1:]
+	cmp := func(p logic.Pred, swap bool) (logic.Formula, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("smtlib: %q wants 2 arguments", head)
+		}
+		l, err := in.term(args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.term(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if swap {
+			l, r = r, l
+		}
+		return logic.Atom(p, l, r), nil
+	}
+	switch head {
+	case "<":
+		return cmp(logic.Lt, false)
+	case "<=":
+		return cmp(logic.Le, false)
+	case ">":
+		return cmp(logic.Lt, true)
+	case ">=":
+		return cmp(logic.Le, true)
+	case "=":
+		return cmp(logic.Eq, false)
+	case "distinct":
+		f, err := cmp(logic.Eq, false)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Not(f), nil
+	case "not":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("smtlib: 'not' wants one argument")
+		}
+		f, err := in.formula(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return logic.Not(f), nil
+	case "and", "or":
+		fs := make([]logic.Formula, len(args))
+		for i, a := range args {
+			f, err := in.formula(a)
+			if err != nil {
+				return nil, err
+			}
+			fs[i] = f
+		}
+		if head == "and" {
+			return logic.And(fs...), nil
+		}
+		return logic.Or(fs...), nil
+	case "=>":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("smtlib: '=>' wants 2 arguments")
+		}
+		l, err := in.formula(args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.formula(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return logic.Implies(l, r), nil
+	case "ite":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("smtlib: boolean 'ite' wants 3 arguments")
+		}
+		c, err := in.formula(args[0])
+		if err != nil {
+			return nil, err
+		}
+		t, err := in.formula(args[1])
+		if err != nil {
+			return nil, err
+		}
+		f, err := in.formula(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return logic.Or(logic.And(c, t), logic.And(logic.Not(c), f)), nil
+	}
+	return nil, fmt.Errorf("smtlib: unsupported formula head %q at %d", head, e.pos)
+}

@@ -1,0 +1,479 @@
+// Package sym implements the symbolic contexts Ψ of the consolidation
+// calculus: strongest postconditions of straight-line code, tracked in
+// SSA-versioned form so that assignments never invalidate earlier facts
+// (sp(Ψ, x := e) introduces a fresh version of x rather than rewriting Ψ).
+// Control flow the calculus steps over (the Step rule) is over-approximated
+// by havocking the assigned variables, which is always sound: a weaker
+// context can only hide cross-simplification opportunities, never create
+// unsound ones.
+package sym
+
+import (
+	"fmt"
+
+	"consolidation/internal/lang"
+	"consolidation/internal/logic"
+	"consolidation/internal/smt"
+)
+
+// Context is a logical context Ψ over SSA-versioned program variables. The
+// version map assigns each source variable its current logical name;
+// version 0 is the variable's original (parameter or first-read) name.
+type Context struct {
+	solver *smt.Solver
+	conj   []conjunct
+	// version maps a program variable to its current SSA version.
+	version map[string]int
+	// MaxConjuncts bounds context growth; when exceeded, the oldest
+	// conjuncts are dropped (sound weakening). 0 means unbounded.
+	MaxConjuncts int
+
+	// defs indexes assignment right-hand sides for the cross-simplifier:
+	// canonical term text → definition. A definition is usable only while
+	// the defined variable's version has not advanced (the runtime variable
+	// still holds that value).
+	defs map[string]DefEntry
+	// funcDefs indexes definitions by the library functions their
+	// right-hand sides call, bounding the simplifier's SMT probing.
+	funcDefs map[string][]DefEntry
+	// varDefs indexes the most recent definition per variable.
+	varDefs map[string]DefEntry
+}
+
+// conjunct is one context fact plus cached structure for the relevance
+// filter: all free variables, the variables occurring *outside*
+// uninterpreted-call arguments (linkVars), and call-instance keys.
+//
+// Only linkVars drive variable-based cone growth. A variable that occurs
+// exclusively as a call argument — the record handle r in a UDF workload is
+// the extreme case, appearing in every conjunct — must not link otherwise
+// unrelated facts: call-to-call relevance is what the call keys are for,
+// and they respect argument compatibility.
+type conjunct struct {
+	f        logic.Formula
+	vars     map[string]bool
+	linkVars map[string]bool
+	calls    map[string]bool
+}
+
+// callKeys collects call-instance keys of a formula.
+func callKeys(f logic.Formula) map[string]bool {
+	keys := map[string]bool{}
+	for _, app := range logic.Apps(f) {
+		keys[logic.CallInstanceKey(app)] = true
+	}
+	return keys
+}
+
+// linkableVars collects variables occurring outside call arguments.
+func linkableVars(f logic.Formula) map[string]bool {
+	out := map[string]bool{}
+	var walkT func(logic.Term)
+	walkT = func(t logic.Term) {
+		switch x := t.(type) {
+		case logic.TVar:
+			out[x.Name] = true
+		case logic.TBin:
+			walkT(x.L)
+			walkT(x.R)
+			// TApp: stop — its argument occurrences do not link.
+		}
+	}
+	var walk func(logic.Formula)
+	walk = func(f logic.Formula) {
+		switch x := f.(type) {
+		case logic.FAtom:
+			walkT(x.L)
+			walkT(x.R)
+		case logic.FNot:
+			walk(x.F)
+		case logic.FAnd:
+			for _, g := range x.Fs {
+				walk(g)
+			}
+		case logic.FOr:
+			for _, g := range x.Fs {
+				walk(g)
+			}
+		}
+	}
+	walk(f)
+	return out
+}
+
+// keysLink reports whether two call-key sets contain a unifiable pair.
+func keysLink(a, b map[string]bool) bool {
+	for ka := range a {
+		for kb := range b {
+			if logic.KeysUnify(ka, kb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DefEntry records that variable Var (at Version) was assigned a value
+// equal to term Rhs.
+type DefEntry struct {
+	Var     string
+	Version int
+	Rhs     logic.Term
+	// Keys are the call-instance keys of Rhs, used to filter hopeless
+	// equality probes in the cross-simplifier.
+	Keys map[string]bool
+}
+
+// NewContext returns the empty context ⊤ backed by the given solver.
+func NewContext(solver *smt.Solver) *Context {
+	return &Context{
+		solver:       solver,
+		version:      map[string]int{},
+		MaxConjuncts: 512,
+		defs:         map[string]DefEntry{},
+		funcDefs:     map[string][]DefEntry{},
+		varDefs:      map[string]DefEntry{},
+	}
+}
+
+// Solver exposes the underlying solver (shared, not concurrency-safe).
+func (c *Context) Solver() *smt.Solver { return c.solver }
+
+// Clone returns an independent copy sharing the solver.
+func (c *Context) Clone() *Context {
+	out := &Context{
+		solver:       c.solver,
+		conj:         append([]conjunct(nil), c.conj...),
+		version:      make(map[string]int, len(c.version)),
+		MaxConjuncts: c.MaxConjuncts,
+		defs:         make(map[string]DefEntry, len(c.defs)),
+		funcDefs:     make(map[string][]DefEntry, len(c.funcDefs)),
+		varDefs:      make(map[string]DefEntry, len(c.varDefs)),
+	}
+	for k, v := range c.version {
+		out.version[k] = v
+	}
+	for k, v := range c.defs {
+		out.defs[k] = v
+	}
+	for k, v := range c.funcDefs {
+		out.funcDefs[k] = append([]DefEntry(nil), v...)
+	}
+	for k, v := range c.varDefs {
+		out.varDefs[k] = v
+	}
+	return out
+}
+
+// versioned returns the logical name of variable x at version n.
+func versioned(x string, n int) string {
+	if n == 0 {
+		return x
+	}
+	return fmt.Sprintf("%s%%%d", x, n)
+}
+
+// CurName returns the current logical name of x.
+func (c *Context) CurName(x string) string { return versioned(x, c.version[x]) }
+
+// CurTerm returns the current logical term for x.
+func (c *Context) CurTerm(x string) logic.Term { return logic.TVar{Name: c.CurName(x)} }
+
+// TranslateInt maps a source integer expression to a term over the current
+// versions.
+func (c *Context) TranslateInt(e lang.IntExpr) logic.Term {
+	return c.translateInt(e)
+}
+
+func (c *Context) translateInt(e lang.IntExpr) logic.Term {
+	switch t := e.(type) {
+	case lang.IntConst:
+		return logic.TConst{Value: t.Value}
+	case lang.Var:
+		return c.CurTerm(t.Name)
+	case lang.Call:
+		args := make([]logic.Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = c.translateInt(a)
+		}
+		return logic.TApp{Func: t.Func, Args: args}
+	case lang.BinInt:
+		var op logic.TermOp
+		switch t.Op {
+		case lang.Add:
+			op = logic.Add
+		case lang.Sub:
+			op = logic.Sub
+		case lang.Mul:
+			op = logic.Mul
+		}
+		return logic.TBin{Op: op, L: c.translateInt(t.L), R: c.translateInt(t.R)}
+	}
+	panic("sym: unknown int expression")
+}
+
+// TranslateBool maps a source boolean expression to a formula over the
+// current versions.
+func (c *Context) TranslateBool(e lang.BoolExpr) logic.Formula {
+	switch t := e.(type) {
+	case lang.BoolConst:
+		if t.Value {
+			return logic.FTrue{}
+		}
+		return logic.FFalse{}
+	case lang.Cmp:
+		var p logic.Pred
+		switch t.Op {
+		case lang.Lt:
+			p = logic.Lt
+		case lang.Eq:
+			p = logic.Eq
+		case lang.Le:
+			p = logic.Le
+		}
+		return logic.FAtom{Pred: p, L: c.translateInt(t.L), R: c.translateInt(t.R)}
+	case lang.Not:
+		return logic.Not(c.TranslateBool(t.E))
+	case lang.BinBool:
+		l := c.TranslateBool(t.L)
+		r := c.TranslateBool(t.R)
+		if t.Op == lang.And {
+			return logic.And(l, r)
+		}
+		return logic.Or(l, r)
+	}
+	panic("sym: unknown bool expression")
+}
+
+// Assume adds an already-translated formula to the context.
+func (c *Context) Assume(f logic.Formula) {
+	if _, ok := f.(logic.FTrue); ok {
+		return
+	}
+	vars := map[string]bool{}
+	logic.CollectVars(f, vars)
+	c.conj = append(c.conj, conjunct{f: f, vars: vars, linkVars: linkableVars(f), calls: callKeys(f)})
+	c.trim()
+}
+
+// AssumeBool adds a source boolean expression (translated at current
+// versions) to the context; used for branch conditions (If 3 rule).
+func (c *Context) AssumeBool(e lang.BoolExpr) {
+	c.Assume(c.TranslateBool(e))
+}
+
+// AssumeAssign computes sp(Ψ, x := e): the right-hand side is translated at
+// the pre-state versions, x's version is bumped, and the defining equality
+// is recorded.
+func (c *Context) AssumeAssign(x string, e lang.IntExpr) {
+	rhs := c.translateInt(e)
+	c.version[x]++
+	c.Assume(logic.EqT(c.CurTerm(x), rhs))
+	// Index the definition for the cross-simplifier.
+	entry := DefEntry{Var: x, Version: c.version[x], Rhs: rhs, Keys: logic.TermCallKeys(rhs)}
+	c.defs[rhs.String()] = entry
+	c.varDefs[x] = entry
+	for fn := range termFuncs(rhs) {
+		c.funcDefs[fn] = append(c.funcDefs[fn], entry)
+	}
+}
+
+// LookupDef returns a variable currently holding exactly the value of t, if
+// one was recorded by an assignment and has not been overwritten since.
+func (c *Context) LookupDef(t logic.Term) (string, bool) {
+	e, ok := c.defs[t.String()]
+	if !ok || c.version[e.Var] != e.Version {
+		return "", false
+	}
+	return e.Var, true
+}
+
+// CurDef returns the recorded right-hand side of variable v's most recent
+// assignment, provided v still holds that value (its version has not
+// advanced).
+func (c *Context) CurDef(v string) (logic.Term, bool) {
+	e, ok := c.varDefs[v]
+	if !ok || c.version[v] != e.Version {
+		return nil, false
+	}
+	return e.Rhs, true
+}
+
+// DefsByFunc returns still-current definitions whose right-hand side calls
+// the named library function, most recent last.
+func (c *Context) DefsByFunc(fn string) []DefEntry {
+	all := c.funcDefs[fn]
+	var out []DefEntry
+	for _, e := range all {
+		if c.version[e.Var] == e.Version {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func termFuncs(t logic.Term) map[string]bool {
+	out := map[string]bool{}
+	var walk func(logic.Term)
+	walk = func(t logic.Term) {
+		switch x := t.(type) {
+		case logic.TApp:
+			out[x.Func] = true
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case logic.TBin:
+			walk(x.L)
+			walk(x.R)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// Havoc forgets everything about the given variables by bumping their
+// versions without constraints.
+func (c *Context) Havoc(vars []string) {
+	for _, v := range vars {
+		c.version[v]++
+	}
+}
+
+// HavocSet is Havoc over a set.
+func (c *Context) HavocSet(vars map[string]bool) {
+	for v := range vars {
+		c.version[v]++
+	}
+}
+
+// ApplyStmt advances the context across an arbitrary statement, as the Step
+// and Seq rules require. Straight-line statements get exact strongest
+// postconditions; conditionals and loops havoc their assigned variables
+// (loops additionally assume the negated guard at the post-state, which is
+// sound under big-step semantics: code after a non-terminating loop never
+// runs).
+func (c *Context) ApplyStmt(s lang.Stmt) {
+	switch t := s.(type) {
+	case lang.Skip, lang.Notify:
+	case lang.Assign:
+		c.AssumeAssign(t.Var, t.E)
+	case lang.Seq:
+		c.ApplyStmt(t.L)
+		c.ApplyStmt(t.R)
+	case lang.Cond:
+		c.HavocSet(lang.AssignedVars(s))
+	case lang.While:
+		c.HavocSet(lang.AssignedVars(t.Body))
+		c.AssumeBool(lang.Not{E: t.Test})
+	}
+}
+
+// Formula returns Ψ as a single conjunction.
+func (c *Context) Formula() logic.Formula {
+	fs := make([]logic.Formula, len(c.conj))
+	for i, cj := range c.conj {
+		fs[i] = cj.f
+	}
+	return logic.And(fs...)
+}
+
+// Entails reports Ψ ⊨ goal (conservative: false when undecided). Only the
+// conjuncts in the goal's cone of influence — those transitively sharing a
+// variable or an uninterpreted function symbol with it — are sent to the
+// solver: dropping independent facts weakens the hypothesis, which is
+// sound, and keeps query size proportional to the goal rather than to the
+// whole consolidation context.
+func (c *Context) Entails(goal logic.Formula) bool {
+	return c.solver.Entails(c.relevantFormula(goal), goal)
+}
+
+func (c *Context) relevantFormula(goal logic.Formula) logic.Formula {
+	// Cone of influence: a conjunct is relevant when one of its linkable
+	// variables is already in the cone, when the cone's linkable variables
+	// reach into it, or when a call instance unifies with one in the cone.
+	allVars := map[string]bool{}
+	logic.CollectVars(goal, allVars)
+	linkVars := linkableVars(goal)
+	for v := range allVars {
+		// Goal variables always link, wherever they occur: the goal is
+		// what we are proving, so every fact directly about its terms
+		// matters.
+		linkVars[v] = true
+	}
+	calls := callKeys(goal)
+	picked := make([]bool, len(c.conj))
+	var out []logic.Formula
+	for changed := true; changed; {
+		changed = false
+		for i, cj := range c.conj {
+			if picked[i] {
+				continue
+			}
+			hit := false
+			for v := range cj.linkVars {
+				if allVars[v] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				for v := range cj.vars {
+					if linkVars[v] {
+						hit = true
+						break
+					}
+				}
+			}
+			if !hit && len(cj.calls) > 0 && keysLink(cj.calls, calls) {
+				hit = true
+			}
+			if !hit {
+				continue
+			}
+			picked[i] = true
+			changed = true
+			out = append(out, cj.f)
+			for v := range cj.vars {
+				allVars[v] = true
+			}
+			for v := range cj.linkVars {
+				linkVars[v] = true
+			}
+			// Call keys deliberately do NOT propagate: key linking is one
+			// hop from the goal. Transitive key expansion would pull every
+			// definition calling the same library function — the entire
+			// merged workload — into every query.
+		}
+	}
+	return logic.And(out...)
+}
+
+// EntailsBool reports Ψ ⊨ e for a source boolean expression.
+func (c *Context) EntailsBool(e lang.BoolExpr) bool {
+	return c.Entails(c.TranslateBool(e))
+}
+
+// Conjuncts exposes the current conjuncts (read-only use).
+func (c *Context) Conjuncts() []logic.Formula {
+	fs := make([]logic.Formula, len(c.conj))
+	for i, cj := range c.conj {
+		fs[i] = cj.f
+	}
+	return fs
+}
+
+// Versions returns a copy of the current version map.
+func (c *Context) Versions() map[string]int {
+	out := make(map[string]int, len(c.version))
+	for k, v := range c.version {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *Context) trim() {
+	if c.MaxConjuncts > 0 && len(c.conj) > c.MaxConjuncts {
+		drop := len(c.conj) - c.MaxConjuncts
+		c.conj = append([]conjunct(nil), c.conj[drop:]...)
+	}
+}
