@@ -86,7 +86,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rules: If1=%d If2=%d If3=%d If4=%d If5=%d Loop2=%d Loop3=%d seq=%d simplifiedAssigns=%d\n",
 			ms.Rules.If1, ms.Rules.If2, ms.Rules.If3, ms.Rules.If4, ms.Rules.If5,
 			ms.Rules.Loop2, ms.Rules.Loop3, ms.Rules.LoopsSequential, ms.Rules.AssignsSimplified)
-		fmt.Fprintf(os.Stderr, "SMT queries: %d   output size: %d AST nodes\n", ms.SMTQueries, ms.OutputSize)
+		fmt.Fprintf(os.Stderr, "SMT queries: %d   cache hit-rate: %.1f%%   output size: %d AST nodes\n",
+			ms.SMTQueries, ms.CacheHitRate()*100, ms.OutputSize)
+		fmt.Fprintf(os.Stderr, "SMT cache: %d entries, %d lookups, %d hits, %d stores, %d evictions, %d contended locks\n",
+			ms.Cache.Entries, ms.Cache.Lookups, ms.Cache.Hits, ms.Cache.Stores, ms.Cache.Evictions, ms.Cache.Contended)
 		seq := cost.Sequential(progs, nil, nil)
 		one := cost.Program(merged, nil, nil)
 		fmt.Fprintf(os.Stderr, "static cost: sequential %s, consolidated %s\n",

@@ -44,6 +44,7 @@ func main() {
 	var udfSpeedups, totalSpeedups []float64
 	var consTimes []time.Duration
 	var consFrac []float64
+	var hitRates []float64
 	for _, d := range doms {
 		for _, f := range queries.Families(d) {
 			o, err := bench.Run(bench.Config{
@@ -62,6 +63,7 @@ func main() {
 			udfSpeedups = append(udfSpeedups, o.UDFSpeedup())
 			totalSpeedups = append(totalSpeedups, o.TotalSpeedup())
 			consTimes = append(consTimes, o.Consolidate)
+			hitRates = append(hitRates, o.CacheHitRate*100)
 			total := o.ConsTotal + o.Consolidate
 			if total > 0 {
 				consFrac = append(consFrac, float64(o.Consolidate)/float64(total)*100)
@@ -85,6 +87,9 @@ func main() {
 	_, _, fr := stats(consFrac)
 	fmt.Printf("  consolidation  avg %s per %d UDFs, %.1f%% of total   (paper: ≈0.3 s, 0.4%%)\n",
 		consAvg.Round(time.Millisecond), *flagN, fr)
+	lo, hi, avg = stats(hitRates)
+	fmt.Printf("  SMT cache      hit-rate %4.1f%% – %4.1f%%, avg %4.1f%% (shared across parallel pair workers)\n",
+		lo, hi, avg)
 }
 
 func stats(xs []float64) (lo, hi, avg float64) {

@@ -47,6 +47,14 @@ type Outcome struct {
 	MergedSize  int
 	SMTQueries  int
 
+	// CacheHitRate is the fraction of SMT queries answered by the shared
+	// solver cache during consolidation, in [0,1]; CacheEntries is the
+	// cache's final size. Cross-pair sharing shows up here: every hit
+	// above what a single pair would self-hit came from another pair or
+	// an earlier divide-and-conquer level.
+	CacheHitRate float64
+	CacheEntries int
+
 	// ManyMeanLatency / ConsMeanLatency are the mean notification
 	// latencies (cost units, averaged over queries and records) under each
 	// operator — the Section 8 latency measurement.
@@ -151,9 +159,11 @@ func Run(cfg Config) (*Outcome, error) {
 	}
 	copts := consolidate.DefaultOptions()
 	copts.FuncCoster = ds
-	// One shared solver across all pairwise merges: the divide-and-conquer
-	// levels repeat many entailment queries, which the cache then absorbs.
-	copts.Solver = smt.New()
+	// One shared query cache across all pairwise merges: the divide-and-
+	// conquer levels repeat many entailment queries, which the cache then
+	// absorbs — and unlike a shared solver it keeps the pair workers
+	// parallel (each gets a fresh solver backed by this cache).
+	copts.Cache = smt.NewCache(0)
 	cons, err := engine.WhereConsolidated(ds, udfs, copts, eopts)
 	if err != nil {
 		return nil, fmt.Errorf("bench: whereConsolidated: %w", err)
@@ -182,6 +192,9 @@ func Run(cfg Config) (*Outcome, error) {
 		MergedSize:  cons.Multi.OutputSize,
 		SMTQueries:  cons.Multi.SMTQueries,
 
+		CacheHitRate: cons.Multi.CacheHitRate(),
+		CacheEntries: cons.Multi.Cache.Entries,
+
 		ManyMeanLatency: meanLat(&many.Metrics),
 		ConsMeanLatency: meanLat(&cons.Metrics),
 
@@ -191,13 +204,13 @@ func Run(cfg Config) (*Outcome, error) {
 
 // Row renders an outcome as a fixed-width report line.
 func (o *Outcome) Row() string {
-	return fmt.Sprintf("%-8s %-4s  n=%-3d rec=%-6d  udf×%5.1f cost×%5.1f total×%5.1f  cons=%8s  ok=%v",
+	return fmt.Sprintf("%-8s %-4s  n=%-3d rec=%-6d  udf×%5.1f cost×%5.1f total×%5.1f  cons=%8s hit=%4.0f%%  ok=%v",
 		o.Domain, o.Family, o.NumUDFs, o.Records,
 		o.UDFSpeedup(), o.CostSpeedup(), o.TotalSpeedup(),
-		o.Consolidate.Round(time.Millisecond), o.Agree)
+		o.Consolidate.Round(time.Millisecond), o.CacheHitRate*100, o.Agree)
 }
 
 // Header is the column legend for Row.
 func Header() string {
-	return "domain   fam   UDFs  records  speedups(udf-time, udf-cost, total)  consolidation  agree"
+	return "domain   fam   UDFs  records  speedups(udf-time, udf-cost, total)  consolidation  cache-hit  agree"
 }

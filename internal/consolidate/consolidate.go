@@ -28,8 +28,16 @@ type Options struct {
 	// ablation benchmarks.
 	NoDCE bool
 	// Solver supplies an existing solver (one consolidation at a time);
-	// nil creates a fresh one.
+	// nil creates a fresh one. Because a Solver is not concurrency-safe,
+	// setting it forces All into serial execution — prefer Cache to share
+	// solver work across parallel pair workers.
 	Solver *smt.Solver
+	// Cache supplies a shared SMT query cache. It is concurrency-safe, so
+	// All's parallel pair workers each get a fresh solver backed by this
+	// cache and reuse verdicts across pairs and levels. nil makes All
+	// create one cache per run (and New one per solver). Ignored when
+	// Solver is set (the solver brings its own cache).
+	Cache *smt.Cache
 }
 
 // DefaultOptions mirror the paper's implementation choices.
@@ -87,7 +95,11 @@ func New(opts Options) *Consolidator {
 	}
 	solver := opts.Solver
 	if solver == nil {
-		solver = smt.New()
+		if opts.Cache != nil {
+			solver = smt.NewWithCache(opts.Cache)
+		} else {
+			solver = smt.New()
+		}
 	}
 	return &Consolidator{
 		opts:   opts,

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"consolidation/internal/lang"
+	"consolidation/internal/smt"
 )
 
 // MultiStats aggregates a divide-and-conquer consolidation of n programs.
@@ -18,6 +20,22 @@ type MultiStats struct {
 	SMTQueries int
 	Rules      Stats
 	OutputSize int
+	// Solver merges the per-pair solver statistics (each pair worker owns
+	// its own solver; only the query cache is shared).
+	Solver smt.Stats
+	// Cache snapshots the shared SMT query cache after the run. When the
+	// caller supplied the cache (or a solver), counters are cumulative
+	// over that cache's lifetime, not just this run.
+	Cache smt.CacheStats
+}
+
+// CacheHitRate is the fraction of this run's SMT queries answered by the
+// shared cache, in [0,1].
+func (ms *MultiStats) CacheHitRate() float64 {
+	if ms.Solver.Queries == 0 {
+		return 0
+	}
+	return float64(ms.Solver.CacheHits) / float64(ms.Solver.Queries)
 }
 
 // All consolidates n ≥ 1 programs into one, pairing them level by level as
@@ -66,15 +84,23 @@ func All(progs []*lang.Program, opts Options, renumber bool, parallel bool) (*la
 	if parallel {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// A caller-supplied solver forces serial execution: the solver (and its
-	// query cache, which later levels hit heavily) is not safe for
-	// concurrent use.
+	// A caller-supplied solver still forces serial execution — the solver
+	// itself is not safe for concurrent use. A caller-supplied (or
+	// freshly created) Cache does not: each pair worker gets its own
+	// solver backed by the shared, lock-striped cache, so later pairs and
+	// later levels reuse verdicts from earlier ones without serialising.
 	if opts.Solver != nil {
 		workers = 1
+	} else if opts.Cache == nil {
+		opts.Cache = smt.NewCache(0)
 	}
 
 	var mu sync.Mutex
 	var firstErr error
+	// cancelled stops sibling and not-yet-launched pairs once any pair
+	// fails: their output would be discarded, so letting them keep
+	// burning solver budget only delays the error.
+	var cancelled atomic.Bool
 	for len(work) > 1 {
 		ms.Levels++
 		next := make([]*lang.Program, (len(work)+1)/2)
@@ -85,16 +111,25 @@ func All(progs []*lang.Program, opts Options, renumber bool, parallel bool) (*la
 				next[i/2] = work[i]
 				continue
 			}
+			if cancelled.Load() {
+				break
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(slot int, a, b *lang.Program) {
 				defer wg.Done()
 				defer func() { <-sem }()
+				if cancelled.Load() {
+					return
+				}
 				co := New(opts)
+				pre := co.solver.Stats
 				merged, err := co.Pair(a, b)
+				delta := co.solver.Stats.Diff(pre)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
+					cancelled.Store(true)
 					if firstErr == nil {
 						firstErr = err
 					}
@@ -102,6 +137,7 @@ func All(progs []*lang.Program, opts Options, renumber bool, parallel bool) (*la
 				}
 				ms.Pairs++
 				ms.SMTQueries += co.stats.SMTQueries
+				ms.Solver.Add(delta)
 				addStats(&ms.Rules, co.stats)
 				next[slot] = merged
 			}(i/2, work[i], work[i+1])
@@ -118,6 +154,11 @@ func All(progs []*lang.Program, opts Options, renumber bool, parallel bool) (*la
 	}
 	ms.Duration = time.Since(start)
 	ms.OutputSize = lang.Size(out.Body)
+	if opts.Solver != nil {
+		ms.Cache = opts.Solver.Cache().Stats()
+	} else {
+		ms.Cache = opts.Cache.Stats()
+	}
 	return out, ms, nil
 }
 

@@ -1,0 +1,203 @@
+package smt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a concurrency-safe query cache shared between Solver instances.
+// Entries are keyed by formula text and striped over a fixed number of
+// shards, each guarded by its own mutex, so parallel consolidation workers
+// rarely contend on the same lock. The divide-and-conquer driver in
+// internal/consolidate injects one Cache into every pair worker: later
+// pairs and later levels re-issue many queries that earlier ones already
+// solved, and the shared cache turns those into lookups.
+//
+// Decided verdicts (Sat/Unsat) are cached unconditionally — they are true
+// forever. Unknown verdicts are budget-capped artefacts, not facts about
+// the formula: an entry produced under MaxConflicts=100 must not shadow a
+// later query that is willing to spend 200000 conflicts. Unknown entries
+// therefore carry the budget that produced them and hit only for queries
+// whose budget does not exceed it (a smaller budget cannot do better).
+//
+// The zero Cache is not usable; construct with NewCache.
+type Cache struct {
+	shards [cacheShards]cacheShard
+	// maxPerShard bounds each shard's entry count; 0 means unbounded.
+	// Eviction is FIFO per shard: consolidation queries have strong level
+	// locality, so dropping the oldest entries first is a good fit and
+	// keeps eviction O(1).
+	maxPerShard int
+
+	lookups   atomic.Uint64
+	hits      atomic.Uint64
+	stores    atomic.Uint64
+	evictions atomic.Uint64
+	contended atomic.Uint64
+}
+
+// cacheShards is a power of two so the hash can be masked, large enough
+// that GOMAXPROCS workers hashing uniformly rarely collide on a stripe.
+const cacheShards = 64
+
+type cacheShard struct {
+	mu    sync.Mutex
+	m     map[string]cacheEntry
+	order []string // insertion order, for FIFO eviction
+}
+
+// cacheEntry records a verdict; for Unknown it also records the budget
+// that failed to decide the query.
+type cacheEntry struct {
+	result    Result
+	conflicts int
+	lazyIters int
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters. Counters
+// accumulate over the cache's lifetime, so callers comparing runs should
+// use a fresh Cache per run or diff snapshots.
+type CacheStats struct {
+	Lookups   uint64
+	Hits      uint64
+	Stores    uint64
+	Evictions uint64
+	// Contended counts lock acquisitions that found the shard mutex held
+	// by another goroutine — a direct measure of stripe contention.
+	Contended uint64
+	Entries   int
+	Shards    int
+}
+
+// HitRate is Hits/Lookups in [0,1]; 0 when nothing was looked up.
+func (cs CacheStats) HitRate() float64 {
+	if cs.Lookups == 0 {
+		return 0
+	}
+	return float64(cs.Hits) / float64(cs.Lookups)
+}
+
+// NewCache returns a cache bounded to roughly maxEntries entries
+// (0 = unbounded). The bound is approximate: it is split evenly across
+// shards and enforced per shard.
+func NewCache(maxEntries int) *Cache {
+	c := &Cache{}
+	if maxEntries > 0 {
+		c.maxPerShard = (maxEntries + cacheShards - 1) / cacheShards
+		if c.maxPerShard < 1 {
+			c.maxPerShard = 1
+		}
+	}
+	for i := range c.shards {
+		c.shards[i].m = map[string]cacheEntry{}
+	}
+	return c
+}
+
+// shardOf stripes a key by FNV-1a hash. FNV is deterministic across
+// processes, which keeps shard assignment (and therefore eviction
+// behaviour) reproducible run to run.
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h & (cacheShards - 1)
+}
+
+// lock acquires the shard mutex, counting contention.
+func (c *Cache) lock(sh *cacheShard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	c.contended.Add(1)
+	sh.mu.Lock()
+}
+
+// Get looks up a verdict for key under the given solver budget. Decided
+// entries always hit; an Unknown entry hits only when the query's budget
+// is no larger than the budget that produced it.
+func (c *Cache) Get(key string, conflicts, lazyIters int) (Result, bool) {
+	c.lookups.Add(1)
+	sh := &c.shards[shardOf(key)]
+	c.lock(sh)
+	e, ok := sh.m[key]
+	sh.mu.Unlock()
+	if !ok {
+		return Unknown, false
+	}
+	if e.result == Unknown && (conflicts > e.conflicts || lazyIters > e.lazyIters) {
+		// The caller has more budget than the run that gave up; the query
+		// may well be decidable now. Miss, so it is re-solved.
+		return Unknown, false
+	}
+	c.hits.Add(1)
+	return e.result, true
+}
+
+// Put stores a verdict computed under the given budget and reports whether
+// it was stored. Decided verdicts replace anything, including a stale
+// Unknown. An Unknown is stored together with its budget — it can answer
+// only queries with no more budget than that — and never overwrites a
+// decided entry.
+func (c *Cache) Put(key string, r Result, conflicts, lazyIters int) bool {
+	sh := &c.shards[shardOf(key)]
+	c.lock(sh)
+	defer sh.mu.Unlock()
+	old, exists := sh.m[key]
+	e := cacheEntry{result: r}
+	if r == Unknown {
+		if exists && old.result != Unknown {
+			// A budget-capped Unknown must never shadow a decided verdict.
+			return false
+		}
+		e.conflicts, e.lazyIters = conflicts, lazyIters
+		if exists {
+			// Keep the largest budget seen so equally-budgeted re-queries
+			// keep hitting after a racing lower-budget store.
+			if old.conflicts > e.conflicts {
+				e.conflicts = old.conflicts
+			}
+			if old.lazyIters > e.lazyIters {
+				e.lazyIters = old.lazyIters
+			}
+		}
+	}
+	if !exists {
+		if c.maxPerShard > 0 && len(sh.order) >= c.maxPerShard {
+			victim := sh.order[0]
+			sh.order = sh.order[1:]
+			delete(sh.m, victim)
+			c.evictions.Add(1)
+		}
+		sh.order = append(sh.order, key)
+	}
+	sh.m[key] = e
+	c.stores.Add(1)
+	return true
+}
+
+// Len reports the current number of entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		c.lock(sh)
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Lookups:   c.lookups.Load(),
+		Hits:      c.hits.Load(),
+		Stores:    c.stores.Load(),
+		Evictions: c.evictions.Load(),
+		Contended: c.contended.Load(),
+		Entries:   c.Len(),
+		Shards:    cacheShards,
+	}
+}

@@ -1,0 +1,210 @@
+package smt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"consolidation/internal/logic"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(0)
+	if _, ok := c.Get("k", 100, 100); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if !c.Put("k", Unsat, 100, 100) {
+		t.Fatal("decided verdict refused")
+	}
+	if r, ok := c.Get("k", 100, 100); !ok || r != Unsat {
+		t.Fatalf("Get = %v,%v want Unsat,true", r, ok)
+	}
+	// Decided entries hit regardless of the querying budget.
+	if r, ok := c.Get("k", 1000000, 1000000); !ok || r != Unsat {
+		t.Fatalf("decided entry missed under larger budget: %v,%v", r, ok)
+	}
+	st := c.Stats()
+	if st.Lookups != 3 || st.Hits != 2 || st.Stores != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := st.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate %v", got)
+	}
+}
+
+func TestCacheUnknownIsBudgetKeyed(t *testing.T) {
+	c := NewCache(0)
+	if !c.Put("k", Unknown, 10, 10) {
+		t.Fatal("budget-tagged Unknown refused")
+	}
+	// Same or smaller budget cannot do better: hit.
+	if r, ok := c.Get("k", 10, 10); !ok || r != Unknown {
+		t.Fatalf("equal-budget Unknown missed: %v,%v", r, ok)
+	}
+	if r, ok := c.Get("k", 5, 10); !ok || r != Unknown {
+		t.Fatalf("smaller-budget Unknown missed: %v,%v", r, ok)
+	}
+	// A larger budget must re-solve.
+	if _, ok := c.Get("k", 11, 10); ok {
+		t.Fatal("stale Unknown served to a larger conflict budget")
+	}
+	if _, ok := c.Get("k", 10, 11); ok {
+		t.Fatal("stale Unknown served to a larger lazy-iter budget")
+	}
+	// The re-solve decides; the verdict replaces the Unknown.
+	if !c.Put("k", Sat, 11, 10) {
+		t.Fatal("decided verdict refused over Unknown")
+	}
+	if r, ok := c.Get("k", 1, 1); !ok || r != Sat {
+		t.Fatalf("decided verdict not served: %v,%v", r, ok)
+	}
+	// And a later, lower-budget Unknown must never shadow it back.
+	if c.Put("k", Unknown, 1, 1) {
+		t.Fatal("Unknown overwrote a decided verdict")
+	}
+	if r, ok := c.Get("k", 1, 1); !ok || r != Sat {
+		t.Fatalf("decided verdict lost: %v,%v", r, ok)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// maxEntries below the shard count clamps to one entry per shard, so
+	// a second distinct key landing on an occupied shard evicts its
+	// predecessor (FIFO within the shard).
+	c := NewCache(cacheShards)
+	keys := make([]string, 0, 4*cacheShards)
+	for i := 0; i < 4*cacheShards; i++ {
+		k := fmt.Sprintf("formula-%d", i)
+		keys = append(keys, k)
+		c.Put(k, Sat, 0, 0)
+	}
+	st := c.Stats()
+	if st.Entries > cacheShards {
+		t.Fatalf("bound not enforced: %d entries > %d", st.Entries, cacheShards)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	if st.Stores != uint64(len(keys)) {
+		t.Fatalf("stores %d want %d", st.Stores, len(keys))
+	}
+	// Evicted or not, a present entry must still be correct.
+	hits := 0
+	for _, k := range keys {
+		if r, ok := c.Get(k, 0, 0); ok {
+			hits++
+			if r != Sat {
+				t.Fatalf("entry %s corrupted: %v", k, r)
+			}
+		}
+	}
+	if hits == 0 || hits > cacheShards {
+		t.Fatalf("surviving entries %d, want 1..%d", hits, cacheShards)
+	}
+}
+
+// TestCacheSharedBetweenSolvers is the tentpole's contract: a verdict one
+// solver computes is a cache hit for another solver sharing the cache.
+func TestCacheSharedBetweenSolvers(t *testing.T) {
+	cache := NewCache(0)
+	a := NewWithCache(cache)
+	b := NewWithCache(cache)
+	f := logic.And(lt(x(), n(3)), lt(n(5), x()))
+	if got := a.Check(f); got != Unsat {
+		t.Fatalf("solver a: %v", got)
+	}
+	if got := b.Check(f); got != Unsat {
+		t.Fatalf("solver b: %v", got)
+	}
+	if b.Stats.CacheHits != 1 {
+		t.Fatalf("solver b should have hit solver a's entry: %+v", b.Stats)
+	}
+	if cache.Stats().Hits != 1 || cache.Stats().Stores != 1 {
+		t.Fatalf("cache stats %+v", cache.Stats())
+	}
+}
+
+// TestCacheConcurrentSolvers drives one shared cache from many solvers in
+// parallel; run under -race it checks the lock striping, and the verdict
+// assertions check that concurrent mixed-budget use never serves a wrong
+// or stale answer.
+func TestCacheConcurrentSolvers(t *testing.T) {
+	cache := NewCache(0)
+	formulas := make([]logic.Formula, 0, 40)
+	wants := make([]Result, 0, 40)
+	for i := int64(0); i < 20; i++ {
+		formulas = append(formulas, logic.And(lt(x(), n(i)), lt(n(i), x())))
+		wants = append(wants, Unsat)
+		formulas = append(formulas, logic.And(le(n(i), x()), le(x(), n(i+1))))
+		wants = append(wants, Sat)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			s := NewWithCache(cache)
+			for rep := 0; rep < 3; rep++ {
+				for i := range formulas {
+					j := (i + seed) % len(formulas)
+					if got := s.Check(formulas[j]); got != wants[j] {
+						t.Errorf("worker %d: Check(%v) = %v want %v", seed, formulas[j], got, wants[j])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("no cross-solver sharing happened: %+v", st)
+	}
+}
+
+// TestUnknownDoesNotPoisonCache is the regression for the bug where
+// Solver.Check cached Unknown keyed only by formula text: a transiently
+// budget-capped query then masked the real verdict for the solver's
+// lifetime. The formula is boolean-unsat but needs at least one CDCL
+// conflict after a decision, so MaxConflicts=0 forces Unknown while the
+// default budget decides Unsat.
+func TestUnknownDoesNotPoisonCache(t *testing.T) {
+	p := eq(x(), n(1))
+	q := eq(y(), n(1))
+	f := logic.And(
+		logic.Or(p, q),
+		logic.Or(p, logic.Not(q)),
+		logic.Or(logic.Not(p), q),
+		logic.Or(logic.Not(p), logic.Not(q)),
+	)
+	s := New()
+	s.MaxConflicts = 0
+	if got := s.Check(f); got != Unknown {
+		t.Fatalf("capped check = %v, want Unknown", got)
+	}
+	if s.Stats.Unknowns != 1 {
+		t.Fatalf("Unknowns stat = %d, want 1", s.Stats.Unknowns)
+	}
+	// Re-checking at the same budget may reuse the Unknown (it is tagged
+	// with the budget that produced it) but must still answer Unknown.
+	if got := s.Check(f); got != Unknown {
+		t.Fatalf("capped re-check = %v, want Unknown", got)
+	}
+
+	// Raising the budget must bypass the stale Unknown and decide.
+	s.MaxConflicts = 200000
+	if got := s.Check(f); got != Unsat {
+		t.Fatalf("budget-capped Unknown poisoned the cache: Check = %v, want Unsat", got)
+	}
+
+	// The decided verdict replaces the Unknown entry: even a low-budget
+	// solver now gets the real answer, from cache.
+	s.MaxConflicts = 0
+	pre := s.Stats.CacheHits
+	if got := s.Check(f); got != Unsat {
+		t.Fatalf("decided verdict lost: Check = %v, want Unsat", got)
+	}
+	if s.Stats.CacheHits != pre+1 {
+		t.Fatalf("decided verdict not served from cache: %+v", s.Stats)
+	}
+}

@@ -1,6 +1,9 @@
 package smt
 
-import "math/big"
+import (
+	"math"
+	"math/big"
+)
 
 // qnum is a rational number with an int64 fast path. Simplex coefficients
 // in consolidation queries are tiny, so virtually all arithmetic stays in
@@ -21,25 +24,40 @@ var (
 // qInt returns the rational v/1.
 func qInt(v int64) qnum { return qnum{num: v, den: 1} }
 
+// gcd64 computes gcd(|a|, |b|) in uint64 so that |math.MinInt64| = 2⁶³
+// does not overflow during negation. The one unrepresentable result,
+// gcd = 2⁶³ itself (both magnitudes 2⁶³, or one is 2⁶³ and the other 0),
+// degrades to 1 — a common divisor, so reductions stay correct, merely
+// less aggressive.
 func gcd64(a, b int64) int64 {
-	if a < 0 {
-		a = -a
+	ua, ub := absU64(a), absU64(b)
+	for ub != 0 {
+		ua, ub = ub, ua%ub
 	}
-	if b < 0 {
-		b = -b
-	}
-	for b != 0 {
-		a, b = b, a%b
-	}
-	if a == 0 {
+	if ua == 0 || ua > math.MaxInt64 {
 		return 1
 	}
-	return a
+	return int64(ua)
+}
+
+// absU64 is |v| as a uint64; unlike int64 negation it is exact for
+// math.MinInt64 (two's-complement negation wraps to the right magnitude).
+func absU64(v int64) uint64 {
+	if v < 0 {
+		return -uint64(v)
+	}
+	return uint64(v)
 }
 
 // qnorm builds a normalised fast-path rational, assuming no overflow
 // occurred while producing n and d.
 func qnorm(n, d int64) qnum {
+	if n == math.MinInt64 || d == math.MinInt64 {
+		// The sign-fix below negates; -MinInt64 overflows. Normalise in
+		// big.Rat instead and drop back to the fast path when the reduced
+		// value fits (e.g. MinInt64/2 = -2⁶²).
+		return qFromBig(new(big.Rat).SetFrac64(n, d))
+	}
 	if d < 0 {
 		n, d = -n, -d
 	}
@@ -53,7 +71,9 @@ func mul64(a, b int64) (int64, bool) {
 		return 0, true
 	}
 	r := a * b
-	if r/a != b {
+	// r/a != b catches every overflow except -1 * MinInt64, where the
+	// wrapped product MinInt64 divided by -1 wraps back to MinInt64 == b.
+	if r/a != b || (a == -1 && b == math.MinInt64) {
 		return 0, false
 	}
 	return r, true
@@ -130,7 +150,9 @@ func qMul(a, b qnum) qnum {
 
 // qDiv returns a / b; b must be nonzero.
 func qDiv(a, b qnum) qnum {
-	if b.big == nil {
+	// The fast-path reciprocal swaps num and den; normSign then negates
+	// both when b was negative, which overflows for num = MinInt64.
+	if b.big == nil && b.num != math.MinInt64 {
 		return qMul(a, qnum{num: b.den, den: b.num, big: nil}.normSign())
 	}
 	return qFromBig(new(big.Rat).Quo(a.toBig(), b.toBig()))

@@ -100,3 +100,62 @@ func TestQnumAgainstBigRat(t *testing.T) {
 		t.Error("overflow fallback cmp wrong")
 	}
 }
+
+// TestQnumMinInt64Boundaries pins the int64 edge the fast path used to get
+// wrong: negating math.MinInt64 (in qnorm's sign fix, gcd64, qDiv's
+// reciprocal, and mul64's overflow check) silently wraps, so every path
+// that would negate it must promote to big.Rat instead.
+func TestQnumMinInt64Boundaries(t *testing.T) {
+	min := int64(math.MinInt64)
+	max := int64(math.MaxInt64)
+	rat := func(n, d int64) *big.Rat { return new(big.Rat).SetFrac64(n, d) }
+	cases := []struct {
+		name string
+		got  qnum
+		want *big.Rat
+	}{
+		{"qnorm(min,1)", qnorm(min, 1), rat(min, 1)},
+		{"qnorm(min,-1)", qnorm(min, -1), new(big.Rat).Neg(rat(min, 1))},
+		{"qnorm(min,2)", qnorm(min, 2), rat(min, 2)},
+		{"qnorm(min,-2)", qnorm(min, -2), new(big.Rat).Neg(rat(min, 2))},
+		{"qnorm(min,min)", qnorm(min, min), rat(1, 1)},
+		{"qnorm(1,min)", qnorm(1, min), new(big.Rat).Quo(rat(1, 1), rat(min, 1))},
+		{"qnorm(max,-1)", qnorm(max, -1), rat(-max, 1)},
+		{"qneg(min)", qNeg(qInt(min)), new(big.Rat).Neg(rat(min, 1))},
+		{"qneg(qneg(min))", qNeg(qNeg(qInt(min))), rat(min, 1)},
+		{"qmul(-1,min)", qMul(qInt(-1), qInt(min)), new(big.Rat).Neg(rat(min, 1))},
+		{"qmul(min,-1)", qMul(qInt(min), qInt(-1)), new(big.Rat).Neg(rat(min, 1))},
+		{"qdiv(min,-1)", qDiv(qInt(min), qInt(-1)), new(big.Rat).Neg(rat(min, 1))},
+		{"qdiv(1,min)", qDiv(qInt(1), qInt(min)), new(big.Rat).Quo(rat(1, 1), rat(min, 1))},
+		{"qdiv(min,min)", qDiv(qInt(min), qInt(min)), rat(1, 1)},
+		{"qadd(min,max)", qAdd(qInt(min), qInt(max)), rat(-1, 1)},
+		{"qadd(max,1)", qAdd(qInt(max), qInt(1)), new(big.Rat).Add(rat(max, 1), rat(1, 1))},
+		{"qsub(min,1)", qSub(qInt(min), qInt(1)), new(big.Rat).Sub(rat(min, 1), rat(1, 1))},
+		{"qsub(0,min)", qSub(qInt(0), qInt(min)), new(big.Rat).Neg(rat(min, 1))},
+	}
+	for _, c := range cases {
+		if c.got.toBig().Cmp(c.want) != 0 {
+			t.Errorf("%s = %v, want %v", c.name, c.got.toBig(), c.want)
+		}
+		// The fast-path invariant (den > 0) must hold whenever the value
+		// stayed in machine words.
+		if c.got.big == nil && c.got.den <= 0 {
+			t.Errorf("%s: fast-path invariant violated: %+v", c.name, c.got)
+		}
+	}
+	if qCmp(qInt(min), qInt(max)) != -1 || qCmp(qNeg(qInt(min)), qInt(max)) != 1 {
+		t.Error("qCmp at int64 boundaries wrong")
+	}
+	if qInt(min).qSign() != -1 || qNeg(qInt(min)).qSign() != 1 {
+		t.Error("qSign at int64 boundaries wrong")
+	}
+	if g := gcd64(min, min); g != 1 {
+		t.Errorf("gcd64(min,min) = %d, want safe degradation to 1", g)
+	}
+	if g := gcd64(min, 6); g != 2 {
+		t.Errorf("gcd64(min,6) = %d, want 2", g)
+	}
+	if g := gcd64(min, 0); g != 1 {
+		t.Errorf("gcd64(min,0) = %d, want safe degradation to 1", g)
+	}
+}

@@ -35,12 +35,37 @@ type Stats struct {
 	CacheHits    int
 	SatIters     int
 	TheoryChecks int
+	// Unknowns counts verdicts the budgets failed to decide.
+	Unknowns int
+}
+
+// Add accumulates o into s; the consolidation driver merges per-pair
+// solver stats with it.
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.CacheHits += o.CacheHits
+	s.SatIters += o.SatIters
+	s.TheoryChecks += o.TheoryChecks
+	s.Unknowns += o.Unknowns
+}
+
+// Diff returns s - o, field-wise: the activity since snapshot o was taken.
+func (s Stats) Diff(o Stats) Stats {
+	return Stats{
+		Queries:      s.Queries - o.Queries,
+		CacheHits:    s.CacheHits - o.CacheHits,
+		SatIters:     s.SatIters - o.SatIters,
+		TheoryChecks: s.TheoryChecks - o.TheoryChecks,
+		Unknowns:     s.Unknowns - o.Unknowns,
+	}
 }
 
 // Solver answers satisfiability and entailment queries in QF_UFLIA. It
-// caches results by formula text: consolidation issues many identical
-// queries while walking similar UDFs. A Solver is not safe for concurrent
-// use; create one per goroutine.
+// caches results by formula text in a Cache: consolidation issues many
+// identical queries while walking similar UDFs, and a Cache shared between
+// solvers (NewWithCache) lets parallel consolidation workers reuse each
+// other's verdicts. A Solver itself is not safe for concurrent use; create
+// one per goroutine and share the Cache.
 type Solver struct {
 	// MaxConflicts bounds CDCL search; exceeded means Unknown.
 	MaxConflicts int
@@ -50,29 +75,39 @@ type Solver struct {
 	Theory theoryConfig
 
 	Stats Stats
-	cache map[string]Result
+	cache *Cache
 }
 
-// New returns a solver with default budgets.
-func New() *Solver {
+// New returns a solver with default budgets and a private cache.
+func New() *Solver { return NewWithCache(NewCache(0)) }
+
+// NewWithCache returns a solver that shares the given query cache; cache
+// must not be nil.
+func NewWithCache(cache *Cache) *Solver {
 	return &Solver{
 		MaxConflicts: 200000,
 		MaxLazyIters: 400,
 		Theory:       defaultTheoryConfig(),
-		cache:        map[string]Result{},
+		cache:        cache,
 	}
 }
+
+// Cache exposes the solver's query cache (for stats snapshots and sharing).
+func (s *Solver) Cache() *Cache { return s.cache }
 
 // Check decides satisfiability of f.
 func (s *Solver) Check(f logic.Formula) Result {
 	s.Stats.Queries++
 	key := f.String()
-	if r, ok := s.cache[key]; ok {
+	if r, ok := s.cache.Get(key, s.MaxConflicts, s.MaxLazyIters); ok {
 		s.Stats.CacheHits++
 		return r
 	}
 	r := s.check(f)
-	s.cache[key] = r
+	if r == Unknown {
+		s.Stats.Unknowns++
+	}
+	s.cache.Put(key, r, s.MaxConflicts, s.MaxLazyIters)
 	return r
 }
 
