@@ -19,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ var (
 	flagScale   = flag.Float64("scale", 0.02, "dataset scale relative to the paper's size")
 	flagSeed    = flag.Int64("seed", 1, "workload seed")
 	flagWorkers = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+	flagJSON    = flag.Bool("json", false, "emit one JSON summary object per UDF count instead of the table")
 )
 
 func main() {
@@ -48,10 +50,13 @@ func main() {
 		counts = append(counts, n)
 	}
 
-	fmt.Println("Figure 10 — scalability with the number of UDFs (News Mix workload)")
-	fmt.Printf("(dataset scale %.2f, seed %d)\n\n", *flagScale, *flagSeed)
-	fmt.Printf("%6s  %14s %14s  %14s %14s  %14s  %9s\n",
-		"UDFs", "many-UDF", "many-total", "cons-UDF", "cons-total", "consolidation", "cache-hit")
+	enc := json.NewEncoder(os.Stdout)
+	if !*flagJSON {
+		fmt.Println("Figure 10 — scalability with the number of UDFs (News Mix workload)")
+		fmt.Printf("(dataset scale %.2f, seed %d)\n\n", *flagScale, *flagSeed)
+		fmt.Printf("%6s  %14s %14s  %14s %14s  %14s  %9s\n",
+			"UDFs", "many-UDF", "many-total", "cons-UDF", "cons-total", "consolidation", "cache-hit")
+	}
 
 	for _, n := range counts {
 		o, err := bench.Run(bench.Config{
@@ -65,6 +70,13 @@ func main() {
 		if !o.Agree {
 			fmt.Fprintf(os.Stderr, "figure10: n=%d: operators disagree\n", n)
 			os.Exit(1)
+		}
+		if *flagJSON {
+			if err := enc.Encode(o.Summary()); err != nil {
+				fmt.Fprintf(os.Stderr, "figure10: %v\n", err)
+				os.Exit(1)
+			}
+			continue
 		}
 		fmt.Printf("%6d  %14s %14s  %14s %14s  %14s  %8.1f%%\n",
 			n,

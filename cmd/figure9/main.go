@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ var (
 	flagScale   = flag.Float64("scale", 0.05, "dataset scale relative to the paper's size")
 	flagSeed    = flag.Int64("seed", 1, "workload seed")
 	flagWorkers = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+	flagJSON    = flag.Bool("json", false, "emit one JSON summary object per family instead of the report")
 )
 
 func main() {
@@ -37,9 +39,12 @@ func main() {
 	if *flagDomain != "all" {
 		doms = []string{*flagDomain}
 	}
-	fmt.Println("Figure 9 — speedup of whereConsolidated over whereMany")
-	fmt.Printf("(%d UDFs per family, dataset scale %.2f, seed %d)\n\n", *flagN, *flagScale, *flagSeed)
-	fmt.Println(bench.Header())
+	enc := json.NewEncoder(os.Stdout)
+	if !*flagJSON {
+		fmt.Println("Figure 9 — speedup of whereConsolidated over whereMany")
+		fmt.Printf("(%d UDFs per family, dataset scale %.2f, seed %d)\n\n", *flagN, *flagScale, *flagSeed)
+		fmt.Println(bench.Header())
+	}
 
 	var udfSpeedups, totalSpeedups []float64
 	var consTimes []time.Duration
@@ -55,7 +60,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "figure9: %s/%s: %v\n", d, f, err)
 				os.Exit(1)
 			}
-			fmt.Println(o.Row())
+			if *flagJSON {
+				if err := enc.Encode(o.Summary()); err != nil {
+					fmt.Fprintf(os.Stderr, "figure9: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Println(o.Row())
+			}
 			if !o.Agree {
 				fmt.Fprintf(os.Stderr, "figure9: %s/%s: operators disagree\n", d, f)
 				os.Exit(1)
@@ -71,6 +83,9 @@ func main() {
 		}
 	}
 
+	if *flagJSON {
+		return
+	}
 	// The paper's in-text summary numbers (Section 6.3): UDF speedups
 	// 2.6–24.2x (avg 8.4x); total 1.4–23.1x (avg 6.0x); consolidation
 	// ≈0.3 s for 50 UDFs, ≈0.4 % of total query execution time.

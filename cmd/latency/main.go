@@ -23,6 +23,7 @@ import (
 	"consolidation/internal/consolidate"
 	"consolidation/internal/engine"
 	"consolidation/internal/queries"
+	"consolidation/internal/smt"
 )
 
 var (
@@ -49,6 +50,9 @@ func main() {
 	}
 	copts := consolidate.DefaultOptions()
 	copts.FuncCoster = ds
+	// Share one SMT query cache across the pairwise merges so the report
+	// below can show how much of the entailment work the cache absorbed.
+	copts.Cache = smt.NewCache(0)
 	cons, err := engine.WhereConsolidated(ds, udfs, copts, engine.Options{})
 	if err != nil {
 		fatal(err)
@@ -78,6 +82,10 @@ func main() {
 	fmt.Printf("\nqueries with increased latency: %d of %d\n", worse, *flagN)
 	fmt.Println("completion (max over queries):",
 		fmt.Sprintf("whereMany %.1f, whereConsolidated %.1f", maxLat(&many.Metrics), maxLat(&cons.Metrics)))
+	cs := cons.Multi.Cache
+	fmt.Printf("SMT cache: %d queries, hit-rate %.1f%% (%d/%d lookups), %d entries, %d evictions\n",
+		cons.Multi.SMTQueries, cons.Multi.CacheHitRate()*100,
+		cs.Hits, cs.Lookups, cs.Entries, cs.Evictions)
 }
 
 func maxLat(m *engine.Metrics) float64 {

@@ -202,6 +202,60 @@ func Run(cfg Config) (*Outcome, error) {
 	}, nil
 }
 
+// Summary is the machine-readable form of one experiment, emitted by the
+// report commands' -json mode: one object per family with the speedups,
+// consolidation time and SMT cache behaviour — the numbers the paper's
+// figures plot, in a form scripts can diff across runs.
+type Summary struct {
+	Domain  string `json:"domain"`
+	Family  string `json:"family"`
+	NumUDFs int    `json:"num_udfs"`
+	Records int    `json:"records"`
+
+	UDFSpeedup   float64 `json:"udf_speedup"`
+	CostSpeedup  float64 `json:"cost_speedup"`
+	TotalSpeedup float64 `json:"total_speedup"`
+
+	ManyUDFMillis float64 `json:"many_udf_ms"`
+	ConsUDFMillis float64 `json:"cons_udf_ms"`
+	ConsolidateMS float64 `json:"consolidation_ms"`
+	MergedSize    int     `json:"merged_size"`
+	SMTQueries    int     `json:"smt_queries"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	CacheEntries  int     `json:"cache_entries"`
+	ManyMeanLat   float64 `json:"many_mean_latency"`
+	ConsMeanLat   float64 `json:"cons_mean_latency"`
+
+	Agree bool `json:"agree"`
+}
+
+// Summary converts the outcome for -json output.
+func (o *Outcome) Summary() Summary {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Summary{
+		Domain:  o.Domain,
+		Family:  o.Family,
+		NumUDFs: o.NumUDFs,
+		Records: o.Records,
+
+		UDFSpeedup:   o.UDFSpeedup(),
+		CostSpeedup:  o.CostSpeedup(),
+		TotalSpeedup: o.TotalSpeedup(),
+
+		ManyUDFMillis: ms(o.ManyUDFTime),
+		ConsUDFMillis: ms(o.ConsUDFTime),
+		ConsolidateMS: ms(o.Consolidate),
+		MergedSize:    o.MergedSize,
+		SMTQueries:    o.SMTQueries,
+		CacheHitRate:  o.CacheHitRate,
+		CacheEntries:  o.CacheEntries,
+		ManyMeanLat:   o.ManyMeanLatency,
+		ConsMeanLat:   o.ConsMeanLatency,
+
+		Agree: o.Agree,
+	}
+}
+
 // Row renders an outcome as a fixed-width report line.
 func (o *Outcome) Row() string {
 	return fmt.Sprintf("%-8s %-4s  n=%-3d rec=%-6d  udf×%5.1f cost×%5.1f total×%5.1f  cons=%8s hit=%4.0f%%  ok=%v",

@@ -27,6 +27,12 @@ type Options struct {
 	// over the paper's calculus; see EliminateDeadCode). Used by the
 	// ablation benchmarks.
 	NoDCE bool
+	// MaxFuel overrides the Ω work bound of one Pair call; 0 keeps the
+	// size-proportional default. When the fuel runs out the remaining
+	// statements are emitted verbatim (sound, but unoptimised) and
+	// Stats.FuelExhausted counts the event — tiny values force the
+	// fallback, which the degraded-plan tests rely on.
+	MaxFuel int
 	// Solver supplies an existing solver (one consolidation at a time);
 	// nil creates a fresh one. Because a Solver is not concurrency-safe,
 	// setting it forces All into serial execution — prefer Cache to share
@@ -58,6 +64,12 @@ type Stats struct {
 	SMTQueries                    int
 	Duration                      time.Duration
 	OutputSize                    int
+	// FuelExhausted counts Ω fuel exhaustions: each one means a suffix of
+	// the pending programs was emitted verbatim instead of consolidated.
+	// The output is still sound (verbatim = sequential execution) but
+	// degraded; callers distinguishing an optimised plan from a fallback
+	// must check this counter.
+	FuelExhausted int
 }
 
 // Consolidator carries the state of one consolidation run. It is not safe
@@ -159,6 +171,9 @@ func (co *Consolidator) Pair(p1, p2 *lang.Program) (*lang.Program, error) {
 	if co.fuel < 20000 {
 		co.fuel = 20000
 	}
+	if co.opts.MaxFuel > 0 {
+		co.fuel = co.opts.MaxFuel
+	}
 	co.embedBudget = 2 * (lang.Size(p1.Body) + lang.Size(body2))
 	if co.embedBudget < 400 {
 		co.embedBudget = 400
@@ -215,6 +230,9 @@ func (co *Consolidator) omega(ctx *sym.Context, s1, s2 []lang.Stmt) []lang.Stmt 
 	for {
 		co.fuel--
 		if co.fuel < 0 {
+			if len(s1) > 0 || len(s2) > 0 {
+				co.stats.FuelExhausted++
+			}
 			out = append(out, s1...)
 			out = append(out, s2...)
 			return out

@@ -38,17 +38,93 @@ func (ms *MultiStats) CacheHitRate() float64 {
 	return float64(ms.Solver.CacheHits) / float64(ms.Solver.Queries)
 }
 
+// VerbatimFallbacks counts Ω fuel exhaustions across all pairs: each one
+// emitted a suffix of some pair's programs verbatim instead of
+// consolidating it. The output is sound either way, but a non-zero count
+// means the plan is degraded — callers (the live registry, reports) use
+// this to tell an optimised plan from a budget-capped one.
+func (ms *MultiStats) VerbatimFallbacks() int { return ms.Rules.FuelExhausted }
+
+// Degraded reports whether any pair fell back to verbatim emission.
+func (ms *MultiStats) Degraded() bool { return ms.Rules.FuelExhausted > 0 }
+
+// Span identifies a merge-tree node by the half-open interval of leaf
+// indices it covers; leaf i is Span{i, i + 1}.
+type Span struct{ Lo, Hi int }
+
+// MergeTree persists the divide-and-conquer tree of one All run: the
+// prepared leaves and every pairwise merge, keyed by the leaf span each
+// node covers, all in pre-cleanup form (the clean-up passes run once on
+// the root only — see All). Odd leftovers carried to the next level are
+// not duplicated; their program is found under the child span.
+//
+// The tree is what makes consolidation incremental: replacing leaf i
+// invalidates exactly the nodes whose span contains i (the O(log N) path
+// to the root), and every sibling subtree can be reused as-is. The live
+// registry (internal/registry) keeps such a tree across Add/Remove churn.
+type MergeTree struct {
+	N     int
+	Nodes map[Span]*lang.Program
+	// Root is the final program after the clean-up passes.
+	Root *lang.Program
+}
+
+// PrepareLeaf returns the working copy All uses for leaf idx: locals
+// renamed apart under the q<idx>_ prefix and, when renumber is set, every
+// notification id rewritten to idx (ids are per-program, so multiple
+// notify sites collapse to the same id correctly). Incremental drivers
+// must prepare leaves exactly like this to stay byte-compatible with All.
+func PrepareLeaf(p *lang.Program, idx int, renumber bool) *lang.Program {
+	q := &lang.Program{Name: p.Name, Params: p.Params, Body: p.Body}
+	params := map[string]bool{}
+	for _, prm := range p.Params {
+		params[prm] = true
+	}
+	q.Body = lang.RenameVars(q.Body, func(v string) string {
+		if params[v] {
+			return v
+		}
+		return fmt.Sprintf("q%d_%s", idx, v)
+	})
+	if renumber {
+		q.Body = lang.RenameNotifyIDs(q.Body, func(int) int { return idx })
+	}
+	return q
+}
+
+// FinalCleanup applies the clean-up passes All runs once on the root
+// program (copy propagation, then dead-store elimination). Exposed so
+// incremental drivers finish a re-merged root identically to All.
+func FinalCleanup(p *lang.Program) *lang.Program {
+	return EliminateDeadCode(PropagateCopies(p))
+}
+
 // All consolidates n ≥ 1 programs into one, pairing them level by level as
 // in the parallel divide-and-conquer scheme of Section 6.1. Notification
 // identifiers are renumbered to the program's index when renumber is true
 // (the whereConsolidated operator does this so query i owns id i); local
 // variables are renamed apart automatically.
 func All(progs []*lang.Program, opts Options, renumber bool, parallel bool) (*lang.Program, *MultiStats, error) {
+	out, _, ms, err := allTree(progs, opts, renumber, parallel, false)
+	return out, ms, err
+}
+
+// AllTree is All, additionally persisting the divide-and-conquer merge
+// tree so callers can re-consolidate incrementally after leaf changes.
+func AllTree(progs []*lang.Program, opts Options, renumber bool, parallel bool) (*lang.Program, *MergeTree, *MultiStats, error) {
+	return allTree(progs, opts, renumber, parallel, true)
+}
+
+func allTree(progs []*lang.Program, opts Options, renumber, parallel, record bool) (*lang.Program, *MergeTree, *MultiStats, error) {
 	if len(progs) == 0 {
-		return nil, nil, fmt.Errorf("consolidate: no programs")
+		return nil, nil, nil, fmt.Errorf("consolidate: no programs")
 	}
 	start := time.Now()
 	ms := &MultiStats{Programs: len(progs)}
+	var tree *MergeTree
+	if record {
+		tree = &MergeTree{N: len(progs), Nodes: map[Span]*lang.Program{}}
+	}
 
 	// Clean-up passes run once on the final program, not between levels: a
 	// store that is dead within one merged program is exactly what a later
@@ -58,26 +134,14 @@ func All(progs []*lang.Program, opts Options, renumber bool, parallel bool) (*la
 	opts.NoDCE = true
 
 	work := make([]*lang.Program, len(progs))
+	spans := make([]Span, len(progs))
 	for i, p := range progs {
-		q := &lang.Program{Name: p.Name, Params: p.Params, Body: p.Body}
 		// Rename locals apart once, so pairwise clash renaming stays rare.
-		params := map[string]bool{}
-		for _, prm := range p.Params {
-			params[prm] = true
+		work[i] = PrepareLeaf(p, i, renumber)
+		spans[i] = Span{Lo: i, Hi: i + 1}
+		if record {
+			tree.Nodes[spans[i]] = work[i]
 		}
-		idx := i
-		q.Body = lang.RenameVars(q.Body, func(v string) string {
-			if params[v] {
-				return v
-			}
-			return fmt.Sprintf("q%d_%s", idx, v)
-		})
-		if renumber {
-			q.Body = lang.RenameNotifyIDs(q.Body, func(int) int { return idx })
-			// Multiple notify sites in one program share its id; renumber
-			// collapses them correctly because ids are per-program.
-		}
-		work[i] = q
 	}
 
 	workers := 1
@@ -104,19 +168,22 @@ func All(progs []*lang.Program, opts Options, renumber bool, parallel bool) (*la
 	for len(work) > 1 {
 		ms.Levels++
 		next := make([]*lang.Program, (len(work)+1)/2)
+		nextSpans := make([]Span, (len(work)+1)/2)
 		sem := make(chan struct{}, workers)
 		var wg sync.WaitGroup
 		for i := 0; i < len(work); i += 2 {
 			if i+1 == len(work) {
 				next[i/2] = work[i]
+				nextSpans[i/2] = spans[i]
 				continue
 			}
 			if cancelled.Load() {
 				break
 			}
+			nextSpans[i/2] = Span{Lo: spans[i].Lo, Hi: spans[i+1].Hi}
 			wg.Add(1)
 			sem <- struct{}{}
-			go func(slot int, a, b *lang.Program) {
+			go func(slot int, a, b *lang.Program, span Span) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				if cancelled.Load() {
@@ -140,17 +207,20 @@ func All(progs []*lang.Program, opts Options, renumber bool, parallel bool) (*la
 				ms.Solver.Add(delta)
 				addStats(&ms.Rules, co.stats)
 				next[slot] = merged
-			}(i/2, work[i], work[i+1])
+				if record {
+					tree.Nodes[span] = merged
+				}
+			}(i/2, work[i], work[i+1], nextSpans[i/2])
 		}
 		wg.Wait()
 		if firstErr != nil {
-			return nil, nil, firstErr
+			return nil, nil, nil, firstErr
 		}
-		work = next
+		work, spans = next, nextSpans
 	}
 	out := work[0]
 	if finalDCE {
-		out = EliminateDeadCode(PropagateCopies(out))
+		out = FinalCleanup(out)
 	}
 	ms.Duration = time.Since(start)
 	ms.OutputSize = lang.Size(out.Body)
@@ -159,7 +229,10 @@ func All(progs []*lang.Program, opts Options, renumber bool, parallel bool) (*la
 	} else {
 		ms.Cache = opts.Cache.Stats()
 	}
-	return out, ms, nil
+	if record {
+		tree.Root = out
+	}
+	return out, tree, ms, nil
 }
 
 func addStats(dst *Stats, s Stats) {
@@ -172,6 +245,7 @@ func addStats(dst *Stats, s Stats) {
 	dst.Loop3 += s.Loop3
 	dst.LoopsSequential += s.LoopsSequential
 	dst.AssignsSimplified += s.AssignsSimplified
+	dst.FuelExhausted += s.FuelExhausted
 }
 
 // Verify checks Definition 1 on concrete inputs: for every input vector,

@@ -171,6 +171,50 @@ func TestTopSelective(t *testing.T) {
 	}
 }
 
+// multiSiteUDFs build programs that each broadcast the SAME id from two
+// notify sites in exclusive branches. Before consolidation renumbers ids to
+// slot positions, every program collides with every other on that id.
+func multiSiteUDFs(ks ...int64) []*lang.Program {
+	var out []*lang.Program
+	for i, k := range ks {
+		out = append(out, lang.MustParse(fmt.Sprintf(
+			"func m%d(r) { v := val(r); if (v < %d) { notify 4 (twice(r) < %d); } else { notify 4 false; } }",
+			i, k, 2*k-10)))
+	}
+	return out
+}
+
+// TestWhereConsolidatedParallelMultiNotifySites pins down renumbering under
+// parallel execution: UDFs whose notify ids collide before renumbering
+// (and with several notify sites per program) must still agree with
+// WhereMany when the pass is partitioned across workers.
+func TestWhereConsolidatedParallelMultiNotifySites(t *testing.T) {
+	d := toy(203) // odd size exercises chunk boundaries
+	udfs := multiSiteUDFs(12, 19, 26, 33, 41)
+	many, err := WhereMany(d, udfs, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := WhereConsolidated(d, udfs, consolidate.DefaultOptions(), Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameResults(many, &cons.Result) {
+		t.Fatal("whereConsolidated disagrees with whereMany on multi-site colliding ids")
+	}
+	// Renumbering must leave no trace of the original shared id: the merged
+	// program notifies exactly the slot ids 0..n-1.
+	ids := lang.NotifyIDs(cons.Merged.Body)
+	if len(ids) != len(udfs) {
+		t.Fatalf("merged program notifies %d ids, want %d", len(ids), len(udfs))
+	}
+	for q := range udfs {
+		if !ids[q] {
+			t.Fatalf("merged program missing slot id %d (ids %v)", q, ids)
+		}
+	}
+}
+
 // TestNotificationLatency exercises the latency metric (the paper's
 // Section 8 discussion): under whereMany the q-th query's notification
 // waits for all earlier queries, so mean latency grows with position;

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"consolidation/internal/lang"
+	"consolidation/internal/registry"
+)
+
+// SnapshotSource serves generation-numbered registry snapshots; it is the
+// seam between the engine and internal/registry. *registry.Registry
+// implements it, and tests wrap it to observe exactly which generation
+// admitted each record.
+type SnapshotSource interface {
+	Snapshot() *registry.Snapshot
+}
+
+// RegistryMetrics summarises one WhereRegistry pass.
+type RegistryMetrics struct {
+	Records int
+	// Swaps counts generation changes picked up mid-stream; each one took
+	// effect atomically at a record boundary.
+	Swaps int
+	// PendingRuns counts verbatim executions of not-yet-consolidated
+	// queries; SuppressedNotifies counts notifications dropped because the
+	// query unsubscribed after the running program was built. Both are zero
+	// while the served snapshots are clean.
+	PendingRuns        int
+	SuppressedNotifies int
+	// UDFCost is the summed abstract cost (consolidated program plus
+	// verbatim pending queries).
+	UDFCost   int64
+	UDFTime   time.Duration
+	TotalTime time.Duration
+}
+
+// RegistryResult is the outcome of streaming a dataset through a live
+// registry. Verdicts are keyed by QueryID — slot positions are unstable
+// across generations — and Gens records the generation that admitted each
+// record, so callers can audit exactly which query set each record was
+// evaluated against.
+type RegistryResult struct {
+	Verdicts []map[registry.QueryID]bool
+	Gens     []uint64
+	RegistryMetrics
+}
+
+// WhereRegistry streams every record through the registry's current
+// consolidated program, hot-swapping to a new generation only between
+// records: the snapshot is loaded once per record, so each record sees
+// exactly one query set — no drops, no double notifications, even while
+// Add/Remove churn and background re-consolidation are in flight. Queries
+// still pending consolidation run verbatim alongside the stale merged
+// program; queries removed since it was built are suppressed by id.
+//
+// The pass is single-threaded by design: a partitioned pass has no single
+// admission order, and the whole point of the operator is that "the query
+// set when this record was admitted" is well-defined.
+func WhereRegistry(data RecordLibrary, src SnapshotSource, opts Options) (*RegistryResult, error) {
+	n := data.NumRecords()
+	out := &RegistryResult{
+		Verdicts: make([]map[registry.QueryID]bool, n),
+		Gens:     make([]uint64, n),
+	}
+	out.Records = n
+	start := time.Now()
+
+	var cur *registry.Snapshot
+	// Runners are cached per compiled program and survive swaps that keep
+	// the program (delta snapshots share the stale Merged, and a pending
+	// query's compiled form is stable until it is consolidated).
+	runners := map[*lang.Compiled]*lang.Runner{}
+	runner := func(c *lang.Compiled) *lang.Runner {
+		rn, ok := runners[c]
+		if !ok {
+			rn = lang.NewRunner(c, data)
+			rn.MaxSteps = opts.MaxSteps
+			runners[c] = rn
+		}
+		return rn
+	}
+	swapTo := func(s *registry.Snapshot) {
+		if cur != nil {
+			out.Swaps++
+			// Drop runners for programs the new generation no longer runs.
+			keep := map[*lang.Compiled]bool{s.Compiled: true}
+			for _, p := range s.Pending {
+				keep[p.Compiled] = true
+			}
+			for c := range runners {
+				if !keep[c] {
+					delete(runners, c)
+				}
+			}
+		}
+		cur = s
+	}
+
+	args := []int64{0}
+	for i := 0; i < n; i++ {
+		// Record boundary: this load decides the query set for record i.
+		if s := src.Snapshot(); cur == nil || s.Gen != cur.Gen {
+			swapTo(s)
+		}
+		data.SetRecord(i)
+		args[0] = int64(i)
+		verdicts := make(map[registry.QueryID]bool, len(cur.Slots)+len(cur.Pending))
+
+		t0 := time.Now()
+		if cur.Compiled != nil {
+			notes, _, cost, err := runner(cur.Compiled).Run(args)
+			if err != nil {
+				return nil, fmt.Errorf("engine: consolidated program (gen %d) on record %d: %w", cur.Gen, i, err)
+			}
+			out.UDFCost += cost
+			for slot, id := range cur.Slots {
+				v, ok := notes[slot]
+				if !ok {
+					return nil, fmt.Errorf("engine: gen %d missing notification for slot %d on record %d", cur.Gen, slot, i)
+				}
+				if cur.Removed[id] {
+					out.SuppressedNotifies++
+					continue
+				}
+				verdicts[id] = v
+			}
+		}
+		for _, p := range cur.Pending {
+			notes, _, cost, err := runner(p.Compiled).Run(args)
+			if err != nil {
+				return nil, fmt.Errorf("engine: pending query %d on record %d: %w", p.ID, i, err)
+			}
+			v, ok := notes[p.NotifyID]
+			if !ok {
+				return nil, fmt.Errorf("engine: pending query %d did not notify id %d on record %d", p.ID, p.NotifyID, i)
+			}
+			verdicts[p.ID] = v
+			out.UDFCost += cost
+			out.PendingRuns++
+		}
+		out.UDFTime += time.Since(t0)
+		out.Verdicts[i] = verdicts
+		out.Gens[i] = cur.Gen
+	}
+	out.TotalTime = time.Since(start)
+	return out, nil
+}
