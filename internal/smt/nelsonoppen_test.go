@@ -1,0 +1,101 @@
+package smt
+
+import (
+	"fmt"
+	"testing"
+
+	"consolidation/internal/logic"
+)
+
+// The regressions below pin a combination bug found by the oracle's golden
+// replay: equalities forced by *arithmetic* atoms (x − y = 0) must reach
+// congruence closure, or f(x) ≠ f(y) is wrongly judged satisfiable. The old
+// Nelson–Oppen probe loop walked candidate pairs in map-iteration order
+// under a tiny budget and answered Sat when the budget ran out, so the
+// verdict flipped between Unsat and a wrong Sat across processes.
+
+func noVar(n string) logic.Term { return logic.TVar{Name: n} }
+func noApp(f string, args ...logic.Term) logic.Term {
+	return logic.TApp{Func: f, Args: args}
+}
+func noSub(a, b logic.Term) logic.Term {
+	return logic.TBin{Op: logic.Sub, L: a, R: b}
+}
+
+// chainFormula is the minimal unsat shape:
+// x−y=0 ∧ y−z=0 ∧ u=f(x) ∧ ¬(u=f(z)).
+func chainFormula() logic.Formula {
+	x, y, z, u := noVar("x"), noVar("y"), noVar("z"), noVar("u")
+	zero := logic.TConst{Value: 0}
+	return logic.And(
+		logic.EqT(noSub(x, y), zero),
+		logic.EqT(noSub(y, z), zero),
+		logic.EqT(u, noApp("f", x)),
+		logic.Not(logic.EqT(u, noApp("f", z))),
+	)
+}
+
+// TestArithEqualityReachesCongruence: the minimal shape must always be
+// Unsat — it is well inside every budget.
+func TestArithEqualityReachesCongruence(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		if r := New().Check(chainFormula()); r != Unsat {
+			t.Fatalf("run %d: got %v, want unsat", i, r)
+		}
+	}
+}
+
+// TestTraceHook: the diagnostic hook observes every Check with its
+// verdict and cache provenance — it is how per-query verdict streams are
+// compared when hunting determinism bugs like the one above.
+func TestTraceHook(t *testing.T) {
+	s := New()
+	type obs struct {
+		f      string
+		r      Result
+		cached bool
+	}
+	var got []obs
+	s.Trace = func(f logic.Formula, r Result, cached bool) {
+		got = append(got, obs{f.String(), r, cached})
+	}
+	f := chainFormula()
+	r1 := s.Check(f)
+	r2 := s.Check(f) // second check must come from the cache
+	if r1 != Unsat || r2 != Unsat {
+		t.Fatalf("verdicts: %v, %v", r1, r2)
+	}
+	if len(got) != 2 {
+		t.Fatalf("trace observed %d checks, want 2", len(got))
+	}
+	if got[0].cached || !got[1].cached {
+		t.Fatalf("cache provenance wrong: %+v", got)
+	}
+	if got[0].f != f.String() || got[0].r != Unsat || got[1].r != Unsat {
+		t.Fatalf("trace content wrong: %+v", got)
+	}
+}
+
+// TestNelsonOppenBudgetSoundAndDeterministic drowns the probe budget in
+// decoy function applications whose arguments coincide in the arithmetic
+// model but are not forced equal. Whatever the budget decides, the solver
+// must (a) never answer Sat — the formula is unsat — and (b) answer the
+// same thing from every fresh solver, since consolidation's golden replay
+// depends on verdicts being a function of the formula alone.
+func TestNelsonOppenBudgetSoundAndDeterministic(t *testing.T) {
+	fs := []logic.Formula{chainFormula()}
+	for i := 0; i < 80; i++ {
+		fs = append(fs, logic.EqT(noVar(fmt.Sprintf("d%d", i)), noApp("g", noVar(fmt.Sprintf("v%d", i)))))
+	}
+	f := logic.And(fs...)
+
+	first := New().Check(f)
+	if first == Sat {
+		t.Fatalf("got sat for an unsat formula")
+	}
+	for i := 0; i < 50; i++ {
+		if r := New().Check(f); r != first {
+			t.Fatalf("run %d: verdict flipped %v -> %v across fresh solvers", i, first, r)
+		}
+	}
+}

@@ -76,6 +76,11 @@ type Solver struct {
 
 	Stats Stats
 	cache *Cache
+
+	// Trace, when set, observes every Check with its verdict and whether
+	// the cache answered it. Diagnostic hook for the oracle and for
+	// determinism debugging; leave nil in production paths.
+	Trace func(f logic.Formula, r Result, cached bool)
 }
 
 // New returns a solver with default budgets and a private cache.
@@ -101,6 +106,9 @@ func (s *Solver) Check(f logic.Formula) Result {
 	key := f.String()
 	if r, ok := s.cache.Get(key, s.MaxConflicts, s.MaxLazyIters); ok {
 		s.Stats.CacheHits++
+		if s.Trace != nil {
+			s.Trace(f, r, true)
+		}
 		return r
 	}
 	r := s.check(f)
@@ -108,6 +116,9 @@ func (s *Solver) Check(f logic.Formula) Result {
 		s.Stats.Unknowns++
 	}
 	s.cache.Put(key, r, s.MaxConflicts, s.MaxLazyIters)
+	if s.Trace != nil {
+		s.Trace(f, r, false)
+	}
 	return r
 }
 

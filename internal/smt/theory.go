@@ -1,6 +1,8 @@
 package smt
 
 import (
+	"sort"
+
 	"consolidation/internal/logic"
 )
 
@@ -29,7 +31,7 @@ type theoryConfig struct {
 }
 
 func defaultTheoryConfig() theoryConfig {
-	return theoryConfig{maxPivots: 2500, branchDepth: 10, noEqRounds: 3, noEqProbes: 16}
+	return theoryConfig{maxPivots: 2500, branchDepth: 10, noEqRounds: 4, noEqProbes: 64}
 }
 
 // checkTheory decides satisfiability of a conjunction of literals in
@@ -149,8 +151,18 @@ func checkTheory(lits []theoryLit, cfg theoryConfig) theoryStatus {
 			argBuckets[key] = append(argBuckets[key], ch)
 		}
 	}
+	// Iterate buckets in sorted key order and dedupe pairs globally: the
+	// probe budget below is consumed in candPairs order, so this order must
+	// be a function of the formula alone, never of map iteration.
+	bucketKeys := make([]string, 0, len(argBuckets))
+	for k := range argBuckets {
+		bucketKeys = append(bucketKeys, k)
+	}
+	sort.Strings(bucketKeys)
 	var candPairs [][2]int
-	for _, bucket := range argBuckets {
+	seenPair := map[[2]int]bool{}
+	for _, k := range bucketKeys {
+		bucket := argBuckets[k]
 		seen := map[int]bool{}
 		var uniq []int
 		for _, id := range bucket {
@@ -161,7 +173,15 @@ func checkTheory(lits []theoryLit, cfg theoryConfig) theoryStatus {
 		}
 		for i := 0; i < len(uniq); i++ {
 			for j := i + 1; j < len(uniq); j++ {
-				candPairs = append(candPairs, [2]int{uniq[i], uniq[j]})
+				a, b := uniq[i], uniq[j]
+				if b < a {
+					a, b = b, a
+				}
+				p := [2]int{a, b}
+				if !seenPair[p] {
+					seenPair[p] = true
+					candPairs = append(candPairs, p)
+				}
 			}
 		}
 	}
@@ -231,13 +251,15 @@ func checkTheory(lits []theoryLit, cfg theoryConfig) theoryStatus {
 		if st != theorySat {
 			return st
 		}
-		if round >= cfg.noEqRounds {
-			return theorySat
-		}
 		// Nelson–Oppen: probe for LIA-implied equalities between candidate
 		// argument nodes whose proxies coincide in the current model but
-		// whose CC classes differ; assert them into CC and retry.
+		// whose CC classes differ; assert them into CC and retry. Sat may
+		// only be answered once a full scan found nothing left to
+		// propagate: an exhausted probe or round budget means unprobed
+		// pairs may hide a forced equality, so the sound answer is Unknown,
+		// never Sat.
 		progress := false
+		exhausted := false
 		for _, pair := range candPairs {
 			a, b := pair[0], pair[1]
 			if cc.find(a) == cc.find(b) {
@@ -246,10 +268,8 @@ func checkTheory(lits []theoryLit, cfg theoryConfig) theoryStatus {
 			if qCmp(sx.val(a), sx.val(b)) != 0 {
 				continue
 			}
-			// Is a ≠ b infeasible? Probe both strict sides; a budget
-			// overrun counts as feasible (no propagation), which is the
-			// conservative direction.
 			if probeBudget <= 0 {
+				exhausted = true
 				break
 			}
 			probeBudget--
@@ -271,11 +291,16 @@ func checkTheory(lits []theoryLit, cfg theoryConfig) theoryStatus {
 					return theoryUnsat
 				}
 				progress = true
-				break
 			}
 		}
 		if !progress {
+			if exhausted {
+				return theoryUnknown
+			}
 			return theorySat
+		}
+		if round >= cfg.noEqRounds {
+			return theoryUnknown
 		}
 	}
 }
