@@ -75,6 +75,10 @@ func TestParseErrors(t *testing.T) {
 		"func f() { y := 1 }",           // missing semicolon
 		"func f() { while (1) { } }",    // int where bool expected
 		"func f() { x := 1; } trailing", // trailing junk
+		"func A(",                       // truncated at EOF: fuzzer-found peek panic
+		"func A(b",
+		"func A(b,",
+		"func f() { x := (1 +",
 	}
 	for _, src := range bad {
 		if _, err := Parse(src); err == nil {

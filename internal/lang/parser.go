@@ -142,9 +142,19 @@ type parser struct {
 	pos  int
 }
 
-func (p *parser) peek() token   { return p.toks[p.pos] }
-func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
-func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// next consumes and returns the current token. It never advances past the
+// trailing EOF token, so peek stays in bounds no matter how many times a
+// parse loop calls next on truncated input.
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
 func (p *parser) save() int     { return p.pos }
 func (p *parser) restore(n int) { p.pos = n }
 
