@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// errData is a toyData variant whose library call fails on records past a
+// threshold, forcing workers to abort mid-pass.
+type errData struct {
+	toyData
+	failAt int64
+}
+
+func (d *errData) Clone() RecordLibrary {
+	return &errData{toyData: toyData{vals: d.toyData.vals}, failAt: d.failAt}
+}
+
+func (d *errData) Call(name string, args []int64) (int64, error) {
+	if d.cur >= d.failAt {
+		return 0, fmt.Errorf("record value %d: injected failure", d.cur)
+	}
+	return d.toyData.Call(name, args)
+}
+
+// TestCancellationNoGoroutineLeak aborts parallel evaluation passes
+// mid-run (a library call fails on some records while other workers are
+// still evaluating theirs) and asserts the engine's worker goroutines are
+// all gone afterwards: runPass must join every worker on the error path,
+// not abandon them.
+func TestCancellationNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		d := &errData{failAt: 20}
+		for r := 0; r < 200; r++ {
+			d.vals = append(d.vals, int64(r*7%50))
+		}
+		_, err := WhereMany(d, thresholdUDFs(10, 25, 40), Options{Workers: 4})
+		if err == nil {
+			t.Fatal("expected injected failure to surface")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker goroutines leaked: %d at baseline, %d after 8 aborted passes", baseline, now)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

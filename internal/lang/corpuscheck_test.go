@@ -1,0 +1,14 @@
+package lang
+
+import "testing"
+
+// TestParserCorpusAccepted pins every checked-in corpus program as
+// actually valid: roundTrip skips unparseable inputs, so without this a
+// typo in a corpus file would silently drop its coverage.
+func TestParserCorpusAccepted(t *testing.T) {
+	for i, src := range parserCorpus(t) {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("corpus entry %d does not parse: %v\n%s", i, err, src)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func enumProg() *Program {
+	return MustParse(`func p(a, b) {
+  x := f(a) + 2;
+  if (x < b && a <= 3) {
+    y := x * x;
+    notify 1 true;
+  } else {
+    while (0 < x) { x := x - 1; }
+    notify 1 false;
+  }
+}`)
+}
+
+func TestCountAndReplaceStmtNodes(t *testing.T) {
+	p := enumProg()
+	n := CountStmtNodes(p.Body)
+	// x:=, if, y:=, notify, while, x:=, notify  → 7 indexable nodes.
+	if n != 7 {
+		t.Fatalf("CountStmtNodes = %d, want 7", n)
+	}
+	// Replacing each index with Skip must remove exactly one node (or a
+	// whole subtree for Cond/While) and leave a well-formed statement.
+	for i := 0; i < n; i++ {
+		out := ReplaceStmtNode(p.Body, i, Skip{})
+		if CountStmtNodes(out) >= n+1 {
+			t.Fatalf("index %d: replacement grew the tree", i)
+		}
+		if EqualStmt(out, p.Body) {
+			t.Fatalf("index %d: replacement was a no-op", i)
+		}
+	}
+	// Out of range: unchanged.
+	if !EqualStmt(ReplaceStmtNode(p.Body, n, Skip{}), p.Body) {
+		t.Fatal("out-of-range replacement changed the tree")
+	}
+	// Replacing the Cond (index 1) drops both branches.
+	out := ReplaceStmtNode(p.Body, 1, Skip{})
+	if got := CountStmtNodes(out); got != 2 {
+		t.Fatalf("after dropping the conditional: %d nodes, want 2", got)
+	}
+}
+
+func TestCountAndReplaceExprs(t *testing.T) {
+	p := enumProg()
+	ni := CountIntExprs(p.Body)
+	if ni == 0 {
+		t.Fatal("no int expressions found")
+	}
+	for i := 0; i < ni; i++ {
+		out := ReplaceIntExpr(p.Body, i, IntConst{Value: 0})
+		if CountIntExprs(out) > ni {
+			t.Fatalf("int index %d: replacement grew the tree", i)
+		}
+	}
+	if !EqualStmt(ReplaceIntExpr(p.Body, ni, IntConst{Value: 0}), p.Body) {
+		t.Fatal("out-of-range int replacement changed the tree")
+	}
+
+	nb := CountBoolExprs(p.Body)
+	if nb == 0 {
+		t.Fatal("no bool expressions found")
+	}
+	sawWhileGone := false
+	for i := 0; i < nb; i++ {
+		out := ReplaceBoolExpr(p.Body, i, BoolConst{Value: false})
+		if CountBoolExprs(out) > nb {
+			t.Fatalf("bool index %d: replacement grew the tree", i)
+		}
+		if !strings.Contains(FormatStmt(out), "while") {
+			t.Fatalf("bool index %d: while statement vanished", i)
+		}
+		if strings.Contains(FormatStmt(out), "while false") {
+			sawWhileGone = true
+		}
+	}
+	if !sawWhileGone {
+		t.Fatal("no index reached the while test")
+	}
+	if !EqualStmt(ReplaceBoolExpr(p.Body, nb, BoolConst{Value: true}), p.Body) {
+		t.Fatal("out-of-range bool replacement changed the tree")
+	}
+}
+
+// TestReplaceRoundTripThroughFormat checks the rewritten trees stay
+// parseable — the shrinker writes them back to .udf reproducer files.
+func TestReplaceRoundTripThroughFormat(t *testing.T) {
+	p := enumProg()
+	for i := 0; i < CountStmtNodes(p.Body); i++ {
+		q := &Program{Name: p.Name, Params: p.Params, Body: ReplaceStmtNode(p.Body, i, Skip{})}
+		if _, err := Parse(Format(q)); err != nil {
+			t.Fatalf("index %d: shrunk program does not re-parse: %v\n%s", i, err, Format(q))
+		}
+	}
+}

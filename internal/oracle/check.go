@@ -1,0 +1,265 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"consolidation/internal/consolidate"
+	"consolidation/internal/lang"
+	"consolidation/internal/logic"
+	"consolidation/internal/registry"
+	"consolidation/internal/smt"
+)
+
+// Check names, one per differential property. A Failure's Check field is
+// the shrinker's acceptance criterion: a shrunk candidate counts only if
+// it fails the same check again.
+const (
+	// CheckDef1 is Definition 1: the consolidated program must notify
+	// exactly the queries each original would, with identical verdicts.
+	CheckDef1 = "definition1"
+	// CheckCost is the §2 theorem: consolidated cost never exceeds the
+	// sequential sum.
+	CheckCost = "cost"
+	// CheckDeterminism: parallel and serial consolidation must print the
+	// same program.
+	CheckDeterminism = "determinism"
+	// CheckIncremental: Registry.Add/Remove under churn must stay
+	// byte-identical to consolidate.All from scratch.
+	CheckIncremental = "incremental"
+	// CheckSMTSound: an smt verdict contradicted by a verified
+	// brute-force model.
+	CheckSMTSound = "smt-soundness"
+	// CheckErr marks infrastructure failures (consolidation or
+	// interpretation errored, registry rejected a program) — not a
+	// property violation, but still a bug in generator or system.
+	CheckErr = "error"
+)
+
+// maxInterpSteps guards the oracle against generator bugs: generated
+// loops are bounded by construction, so hitting this is itself a failure.
+const maxInterpSteps = 1_000_000
+
+// Failure is one oracle finding. It carries everything needed to
+// reproduce and shrink: the check that fired, the generating seed, the
+// (possibly shrunk) batch, and the offending input or formula.
+type Failure struct {
+	Check string
+	Seed  int64
+	Msg   string
+	// Batch is set for consolidation/registry failures.
+	Batch *Batch
+	// Input is the first offending input record, when one is known.
+	Input []int64
+	// Formula is the offending formula's text for smt-soundness failures.
+	Formula string
+	// Events is the churn-trace length for incremental failures (the
+	// shrinker must replay the same trace shape).
+	Events int
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("oracle: check %s failed (seed %d): %s", f.Check, f.Seed, f.Msg)
+}
+
+func failf(check string, b *Batch, format string, args ...any) *Failure {
+	var seed int64
+	if b != nil {
+		seed = b.Seed
+	}
+	return &Failure{Check: check, Seed: seed, Batch: b, Msg: fmt.Sprintf(format, args...)}
+}
+
+func run(lib lang.Library, p *lang.Program, in []int64) (*lang.Result, error) {
+	interp := lang.NewInterp(lib)
+	interp.MaxSteps = maxInterpSteps
+	return interp.Run(p, in)
+}
+
+// CheckConsolidation consolidates the batch twice (serial and parallel
+// divide-and-conquer) and replays every input through the interpreter,
+// splitting violations into Definition 1 (wrong notification set or
+// verdict), cost (§2 theorem), and determinism (serial/parallel output
+// divergence). nil means the batch passed.
+func CheckConsolidation(b *Batch) *Failure {
+	lib := Lib()
+	serial, _, err := consolidate.All(b.Progs, consolidate.Options{}, true, false)
+	if err != nil {
+		return failf(CheckErr, b, "serial consolidation: %v", err)
+	}
+	parallel, _, err := consolidate.All(b.Progs, consolidate.Options{}, true, true)
+	if err != nil {
+		return failf(CheckErr, b, "parallel consolidation: %v", err)
+	}
+	if s, p := lang.Format(serial), lang.Format(parallel); s != p {
+		f := failf(CheckDeterminism, b, "serial and parallel consolidation disagree:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+		return f
+	}
+	for _, in := range b.Inputs {
+		var sumCost int64
+		want := lang.Notifications{}
+		for i, p := range b.Progs {
+			res, err := run(lib, p, in)
+			if err != nil {
+				f := failf(CheckErr, b, "original %s on %v: %v", p.Name, in, err)
+				f.Input = in
+				return f
+			}
+			sumCost += res.Cost
+			// Notification ids were renumbered to program indices; each
+			// original uses a single id, so its verdict (if any) lands on i.
+			for _, v := range res.Notes {
+				want[i] = v
+			}
+		}
+		res, err := run(lib, serial, in)
+		if err != nil {
+			f := failf(CheckErr, b, "consolidated program on %v: %v", in, err)
+			f.Input = in
+			return f
+		}
+		if !res.Notes.Equal(want) {
+			f := failf(CheckDef1, b, "input %v: consolidated notifies %v, originals notify %v", in, res.Notes, want)
+			f.Input = in
+			return f
+		}
+		if res.Cost > sumCost {
+			f := failf(CheckCost, b, "input %v: consolidated cost %d exceeds sequential cost %d", in, res.Cost, sumCost)
+			f.Input = in
+			return f
+		}
+	}
+	return nil
+}
+
+// CheckRegistry replays a random churn trace (adds and removes derived
+// from the batch seed) against a live registry in manual-rebuild mode,
+// and after every event checks the flushed snapshot is byte-identical to
+// consolidate.All run from scratch over the registry's own slot order.
+// nil means every flush matched.
+func CheckRegistry(b *Batch, events int) *Failure {
+	rng := rand.New(rand.NewSource(b.Seed ^ 0x5DEECE66D))
+	reg, err := registry.New(registry.Options{Workers: 2})
+	if err != nil {
+		return failf(CheckErr, b, "registry.New: %v", err)
+	}
+	defer reg.Close()
+
+	var live []registry.QueryID
+	clones := 0
+	add := func() *Failure {
+		src := b.Progs[rng.Intn(len(b.Progs))]
+		q := *src
+		q.Name = fmt.Sprintf("%s_c%d", src.Name, clones)
+		clones++
+		id, err := reg.Add(&q)
+		if err != nil {
+			return failf(CheckErr, b, "registry.Add(%s): %v", q.Name, err)
+		}
+		live = append(live, id)
+		return nil
+	}
+	check := func(event string) *Failure {
+		snap, err := reg.Flush()
+		if err != nil {
+			return failf(CheckErr, b, "registry.Flush after %s: %v", event, err)
+		}
+		progs := reg.Programs()
+		if len(progs) == 0 {
+			if snap.Merged != nil {
+				f := failf(CheckIncremental, b, "after %s: empty registry published a non-nil program", event)
+				f.Events = events
+				return f
+			}
+			return nil
+		}
+		want, _, err := consolidate.All(progs, consolidate.Options{}, true, false)
+		if err != nil {
+			return failf(CheckErr, b, "from-scratch consolidation after %s: %v", event, err)
+		}
+		if snap.Merged == nil {
+			f := failf(CheckIncremental, b, "after %s: registry holds %d queries but published no program", event, len(progs))
+			f.Events = events
+			return f
+		}
+		got, wantText := lang.Format(snap.Merged), lang.Format(want)
+		if got != wantText {
+			f := failf(CheckIncremental, b, "after %s with %d live queries, incremental output diverges from scratch:\n--- incremental ---\n%s\n--- from scratch ---\n%s", event, len(progs), got, wantText)
+			f.Events = events
+			return f
+		}
+		return nil
+	}
+
+	for range b.Progs {
+		if f := add(); f != nil {
+			return f
+		}
+	}
+	if f := check("initial adds"); f != nil {
+		return f
+	}
+	for e := 0; e < events; e++ {
+		var event string
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			if f := add(); f != nil {
+				return f
+			}
+			event = fmt.Sprintf("event %d (add)", e)
+		} else {
+			i := rng.Intn(len(live))
+			id := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := reg.Remove(id); err != nil {
+				return failf(CheckErr, b, "registry.Remove(%d): %v", id, err)
+			}
+			event = fmt.Sprintf("event %d (remove)", e)
+		}
+		if f := check(event); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// CheckSMT generates one random QF_UFLIA formula from the seed and
+// cross-checks the solver against the brute-force reference search plus
+// the cache-consistency invariants (the same properties FuzzSMTSoundness
+// asserts, reported as a Failure instead of a test abort).
+func CheckSMT(seed int64) *Failure {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := smt.DefaultFormulaGenConfig()
+	switch seed % 3 {
+	case 1:
+		cfg.UFBias = true
+	case 2:
+		cfg.LIABias = true
+	}
+	f := smt.RandomFormula(rng, cfg)
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Check: CheckSMTSound, Seed: seed, Formula: f.String(), Msg: fmt.Sprintf(format, args...)}
+	}
+
+	full := smt.New()
+	got := full.Check(f)
+	if m, ok := smt.RefSearch(f, smt.DefaultRefConfig()); ok && got == smt.Unsat {
+		return fail("solver says unsat but brute-force search found a verified model %v", m.Vars)
+	}
+	if got == smt.Unsat && full.Check(logic.Not(f)) == smt.Unsat {
+		return fail("both f and ¬f reported unsat")
+	}
+	if again := full.Check(f); again != got {
+		return fail("verdict changed on cache-served re-check: %v then %v", got, again)
+	}
+	cache := smt.NewCache(0)
+	tiny := smt.NewWithCache(cache)
+	tiny.MaxConflicts, tiny.MaxLazyIters = 1, 1
+	if tinyGot := tiny.Check(f); tinyGot != smt.Unknown && tinyGot != got {
+		return fail("budget-capped solver decided %v, full solver %v", tinyGot, got)
+	}
+	if sharedGot := smt.NewWithCache(cache).Check(f); sharedGot != got {
+		return fail("shared-cache verdict %v differs from fresh verdict %v (cache poisoning)", sharedGot, got)
+	}
+	return nil
+}

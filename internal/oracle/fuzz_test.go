@@ -1,0 +1,22 @@
+package oracle
+
+import "testing"
+
+// FuzzConsolidateEquivalence is the end-to-end fuzz target: derive a
+// whole batch of Figure 1 programs from the fuzzed seed (mix chosen by
+// the second input), consolidate it both serially and in parallel, and
+// replay every probe input through the interpreter to hold the system to
+// Definition 1 and the §2 cost theorem. Failures print the generating
+// seed; `go run ./cmd/oracle -seed <seed> -n 1` shrinks them offline.
+func FuzzConsolidateEquivalence(f *testing.F) {
+	for _, seed := range corpusSeeds(f) {
+		f.Add(seed, byte(seed%3))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, mix byte) {
+		opts := DefaultGenOptions()
+		opts.Mix = Mix(mix % 3)
+		if fail := CheckConsolidation(Generate(seed, opts)); fail != nil {
+			t.Fatal(fail)
+		}
+	})
+}

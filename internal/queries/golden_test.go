@@ -1,0 +1,79 @@
+package queries
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"consolidation/internal/consolidate"
+	"consolidation/internal/lang"
+)
+
+var update = flag.Bool("update", false, "rewrite golden consolidated programs under testdata/")
+
+// goldenCases are the five Figure 9 workloads: the mixed-family workload
+// of each benchmark domain, at a batch size small enough to consolidate
+// in well under a second yet large enough to fire the interesting rules.
+var goldenCases = []struct {
+	domain, family string
+	n              int
+}{
+	{"weather", "Mix", 6},
+	{"flight", "Mix", 6},
+	{"news", "BC", 6},
+	{"twitter", "BC", 6},
+	{"stock", "BC", 6},
+}
+
+// consolidateGolden produces the pretty-printed consolidated program for
+// one case: fixed seed, serial divide-and-conquer, default options — the
+// most deterministic configuration the system has.
+func consolidateGolden(t *testing.T, domain, family string, n int) string {
+	t.Helper()
+	progs := MustGen(domain, family, n, 1)
+	merged, _, err := consolidate.All(progs, consolidate.Options{}, true, false)
+	if err != nil {
+		t.Fatalf("consolidate %s/%s: %v", domain, family, err)
+	}
+	return lang.Format(merged)
+}
+
+// TestGoldenConsolidated pins the exact consolidated output of the five
+// Figure 9 workloads. A diff here means a rewrite-rule change altered the
+// plans the paper's benchmarks produce — sometimes intended (then run
+// `go test ./internal/queries -run TestGoldenConsolidated -update` and
+// review the new plans in the diff), never silently.
+func TestGoldenConsolidated(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.domain+"_"+tc.family, func(t *testing.T) {
+			got := consolidateGolden(t, tc.domain, tc.family, tc.n)
+			path := filepath.Join("testdata", "golden_"+tc.domain+"_"+tc.family+".udf")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("consolidated %s/%s diverges from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+					tc.domain, tc.family, path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenDeterministic guards the premise of the golden files: the
+// same workload consolidates to byte-identical text across runs.
+func TestGoldenDeterministic(t *testing.T) {
+	tc := goldenCases[0]
+	a := consolidateGolden(t, tc.domain, tc.family, tc.n)
+	b := consolidateGolden(t, tc.domain, tc.family, tc.n)
+	if a != b {
+		t.Fatal("consolidation of the same workload is not deterministic")
+	}
+}
