@@ -1,0 +1,146 @@
+// Command benchguard compares a fresh benchmark run against the committed
+// performance-trajectory baseline and fails on consolidated-cost
+// regressions.
+//
+// The baseline (BENCH_pr4.json and successors) stores, under "summaries",
+// the bench.Summary objects of the CI smoke configurations. A fresh run
+// produces the same objects as JSON lines (cmd/figure9 -json, cmd/figure10
+// -json); benchguard joins the two on (domain, family, num_udfs) and
+// checks the machine-independent metrics:
+//
+//   - the operators must still agree (Definition 1 on the real datasets),
+//   - cost_speedup must not drop below baseline × (1 − tol),
+//   - merged_size must not inflate beyond baseline × (1 + tol),
+//   - smt_queries must not grow beyond baseline × (1 + tol).
+//
+// Wall-clock fields are deliberately not guarded — they are properties of
+// the runner, not of the consolidator. Abstract cost, merged program
+// size, and query counts are deterministic for a fixed (seed, scale,
+// count) configuration, so tol exists only as a safety margin for
+// intentional small shifts; genuine regressions blow well past it.
+//
+// Usage:
+//
+//	go run ./cmd/benchguard -baseline BENCH_pr4.json -current f9.json,f10.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"consolidation/internal/bench"
+)
+
+var (
+	flagBaseline = flag.String("baseline", "BENCH_pr4.json", "committed baseline file (object with a summaries array)")
+	flagCurrent  = flag.String("current", "", "comma-separated JSON-lines files from cmd/figure9 -json / cmd/figure10 -json")
+	flagTol      = flag.Float64("tol", 0.02, "relative tolerance before a drift counts as a regression")
+)
+
+// baselineFile is the subset of the trajectory file benchguard reads;
+// extra fields (wall-clock records, provenance) are ignored.
+type baselineFile struct {
+	Summaries []bench.Summary `json:"summaries"`
+}
+
+func key(s bench.Summary) string {
+	return fmt.Sprintf("%s/%s/n=%d", s.Domain, s.Family, s.NumUDFs)
+}
+
+func readCurrent(paths string) (map[string]bench.Summary, error) {
+	out := map[string]bench.Summary{}
+	for _, p := range strings.Split(paths, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var s bench.Summary
+			if err := json.Unmarshal([]byte(line), &s); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("%s: %w", p, err)
+			}
+			out[key(s)] = s
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	flag.Parse()
+	if *flagCurrent == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*flagBaseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *flagBaseline, err)
+		os.Exit(2)
+	}
+	if len(base.Summaries) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s has no summaries to guard\n", *flagBaseline)
+		os.Exit(2)
+	}
+	cur, err := readCurrent(*flagCurrent)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+
+	tol := *flagTol
+	failures := 0
+	failf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "FAIL "+format+"\n", args...)
+		failures++
+	}
+	for _, b := range base.Summaries {
+		k := key(b)
+		c, ok := cur[k]
+		if !ok {
+			failf("%s: missing from the current run (did the smoke flags change?)", k)
+			continue
+		}
+		if !c.Agree {
+			failf("%s: consolidated and sequential operators disagree", k)
+		}
+		if c.CostSpeedup < b.CostSpeedup*(1-tol) {
+			failf("%s: cost_speedup %.4f regressed below baseline %.4f", k, c.CostSpeedup, b.CostSpeedup)
+		}
+		if float64(c.MergedSize) > float64(b.MergedSize)*(1+tol) {
+			failf("%s: merged_size %d inflated beyond baseline %d", k, c.MergedSize, b.MergedSize)
+		}
+		if float64(c.SMTQueries) > float64(b.SMTQueries)*(1+tol) {
+			failf("%s: smt_queries %d grew beyond baseline %d", k, c.SMTQueries, b.SMTQueries)
+		}
+		fmt.Printf("ok   %s: cost_speedup %.4f (baseline %.4f), merged_size %d, smt_queries %d\n",
+			k, c.CostSpeedup, b.CostSpeedup, c.MergedSize, c.SMTQueries)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s) vs %s\n", failures, *flagBaseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d configuration(s) within %.0f%% of %s\n", len(base.Summaries), tol*100, *flagBaseline)
+}

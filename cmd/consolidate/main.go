@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"consolidation/internal/consolidate"
@@ -24,10 +26,12 @@ import (
 )
 
 var (
-	flagStats  = flag.Bool("stats", false, "print rule and solver statistics")
-	flagVerify = flag.Bool("verify", false, "validate soundness and cost on sampled inputs")
-	flagDemo   = flag.Bool("demo", false, "run on the paper's Section 2 example instead of files")
-	flagEmbed  = flag.Int("max-embed", 6000, "If3/If4 embedding budget in AST nodes")
+	flagStats   = flag.Bool("stats", false, "print rule and solver statistics")
+	flagVerify  = flag.Bool("verify", false, "validate soundness and cost on sampled inputs")
+	flagDemo    = flag.Bool("demo", false, "run on the paper's Section 2 example instead of files")
+	flagEmbed   = flag.Int("max-embed", 6000, "If3/If4 embedding budget in AST nodes")
+	flagCPUProf = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	flagMemProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 )
 
 const demo = `
@@ -43,6 +47,31 @@ func f2(fi) {
 
 func main() {
 	flag.Parse()
+	if *flagCPUProf != "" {
+		f, err := os.Create(*flagCPUProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *flagMemProf != "" {
+		defer func() {
+			f, err := os.Create(*flagMemProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "consolidate:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "consolidate:", err)
+			}
+		}()
+	}
 	var progs []*lang.Program
 	if *flagDemo {
 		ps, err := lang.ParseAll(demo)

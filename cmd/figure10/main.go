@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -36,10 +38,39 @@ var (
 	flagSeed    = flag.Int64("seed", 1, "workload seed")
 	flagWorkers = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
 	flagJSON    = flag.Bool("json", false, "emit one JSON summary object per UDF count instead of the table")
+	flagCPUProf = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	flagMemProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 )
 
 func main() {
 	flag.Parse()
+	if *flagCPUProf != "" {
+		f, err := os.Create(*flagCPUProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure10: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "figure10: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *flagMemProf != "" {
+		defer func() {
+			f, err := os.Create(*flagMemProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure10: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "figure10: %v\n", err)
+			}
+		}()
+	}
 	var counts []int
 	for _, tok := range strings.Split(*flagCounts, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))

@@ -55,6 +55,12 @@ type Outcome struct {
 	CacheHitRate float64
 	CacheEntries int
 
+	// Context aggregates the per-pair incremental solving contexts: how
+	// many checks the verdict memo answered, how often Tseitin encodings
+	// and learned clauses were reused, and how often the boolean path fell
+	// back to stateless solving.
+	Context smt.ContextStats
+
 	// ManyMeanLatency / ConsMeanLatency are the mean notification
 	// latencies (cost units, averaged over queries and records) under each
 	// operator — the Section 8 latency measurement.
@@ -194,6 +200,7 @@ func Run(cfg Config) (*Outcome, error) {
 
 		CacheHitRate: cons.Multi.CacheHitRate(),
 		CacheEntries: cons.Multi.Cache.Entries,
+		Context:      cons.Multi.Context,
 
 		ManyMeanLatency: meanLat(&many.Metrics),
 		ConsMeanLatency: meanLat(&cons.Metrics),
@@ -223,8 +230,22 @@ type Summary struct {
 	SMTQueries    int     `json:"smt_queries"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
 	CacheEntries  int     `json:"cache_entries"`
-	ManyMeanLat   float64 `json:"many_mean_latency"`
-	ConsMeanLat   float64 `json:"cons_mean_latency"`
+
+	// Incremental solving-context amortization (zero when contexts are
+	// disabled): checks per context, memo/shared-cache hits, CNF memo
+	// reuse, and stateless fallbacks.
+	CtxContexts    int     `json:"ctx_contexts"`
+	CtxChecks      int     `json:"ctx_checks"`
+	CtxMemoHits    int     `json:"ctx_memo_hits"`
+	CtxMemoRate    float64 `json:"ctx_memo_hit_rate"`
+	CtxSharedHits  int     `json:"ctx_shared_hits"`
+	CtxCNFMemoHits int     `json:"ctx_cnf_memo_hits"`
+	CtxClauseReuse int     `json:"ctx_clause_reuses"`
+	CtxSATChecks   int     `json:"ctx_sat_checks"`
+	CtxFallbacks   int     `json:"ctx_fallbacks"`
+
+	ManyMeanLat float64 `json:"many_mean_latency"`
+	ConsMeanLat float64 `json:"cons_mean_latency"`
 
 	Agree bool `json:"agree"`
 }
@@ -249,8 +270,19 @@ func (o *Outcome) Summary() Summary {
 		SMTQueries:    o.SMTQueries,
 		CacheHitRate:  o.CacheHitRate,
 		CacheEntries:  o.CacheEntries,
-		ManyMeanLat:   o.ManyMeanLatency,
-		ConsMeanLat:   o.ConsMeanLatency,
+
+		CtxContexts:    o.Context.Contexts,
+		CtxChecks:      o.Context.Checks,
+		CtxMemoHits:    o.Context.MemoHits,
+		CtxMemoRate:    o.Context.MemoHitRate(),
+		CtxSharedHits:  o.Context.SharedHits,
+		CtxCNFMemoHits: o.Context.CNFMemoHits,
+		CtxClauseReuse: o.Context.ClauseReuses,
+		CtxSATChecks:   o.Context.SATChecks,
+		CtxFallbacks:   o.Context.Fallbacks,
+
+		ManyMeanLat: o.ManyMeanLatency,
+		ConsMeanLat: o.ConsMeanLatency,
 
 		Agree: o.Agree,
 	}

@@ -44,6 +44,16 @@ type Options struct {
 	// create one cache per run (and New one per solver). Ignored when
 	// Solver is set (the solver brings its own cache).
 	Cache *smt.Cache
+	// SolvingContext supplies a persistent incremental solving context
+	// (smt.Context) reused across Pair calls — the registry wires one per
+	// merge-tree node so incremental rebuilds start warm. Like Solver it is
+	// single-threaded, so setting it forces All into serial execution; nil
+	// makes New create a private one per Consolidator.
+	SolvingContext *smt.Context
+	// NoSolvingContext disables incremental solving contexts entirely,
+	// restoring stateless per-query solving. The differential oracle uses
+	// it to compare the two pipelines.
+	NoSolvingContext bool
 }
 
 // DefaultOptions mirror the paper's implementation choices.
@@ -62,8 +72,11 @@ type Stats struct {
 	Loop2, Loop3, LoopsSequential int
 	AssignsSimplified             int
 	SMTQueries                    int
-	Duration                      time.Duration
-	OutputSize                    int
+	// Context reports the incremental solving context's amortization over
+	// the run (zero when NoSolvingContext is set).
+	Context    smt.ContextStats
+	Duration   time.Duration
+	OutputSize int
 	// FuelExhausted counts Ω fuel exhaustions: each one means a suffix of
 	// the pending programs was emitted verbatim instead of consolidated.
 	// The output is still sound (verbatim = sequential execution) but
@@ -77,6 +90,7 @@ type Stats struct {
 type Consolidator struct {
 	opts   Options
 	solver *smt.Solver
+	sctx   *smt.Context
 	simp   *Simplifier
 	stats  Stats
 	// fuel bounds the total work of one Pair call. Loop 3 re-inserts loops
@@ -113,9 +127,17 @@ func New(opts Options) *Consolidator {
 			solver = smt.New()
 		}
 	}
+	var sctx *smt.Context
+	if !opts.NoSolvingContext {
+		sctx = opts.SolvingContext
+		if sctx == nil {
+			sctx = smt.NewSolvingContext()
+		}
+	}
 	return &Consolidator{
 		opts:   opts,
 		solver: solver,
+		sctx:   sctx,
 		simp:   NewSimplifier(opts.CostModel, opts.FuncCoster),
 	}
 }
@@ -166,6 +188,12 @@ func (co *Consolidator) Pair(p1, p2 *lang.Program) (*lang.Program, error) {
 	}
 
 	ctx := sym.NewContext(co.solver)
+	var cs0 smt.ContextStats
+	if co.sctx != nil {
+		co.sctx.BeginRun(co.solver)
+		cs0 = co.sctx.Stats()
+		ctx.UseSolvingContext(co.sctx)
+	}
 	q0 := co.solver.Stats.Queries
 	co.fuel = 200 * (lang.Size(p1.Body) + lang.Size(body2))
 	if co.fuel < 20000 {
@@ -183,6 +211,9 @@ func (co *Consolidator) Pair(p1, p2 *lang.Program) (*lang.Program, error) {
 	}
 	out := co.omega(ctx, lang.Flatten(p1.Body), lang.Flatten(body2))
 	co.stats.SMTQueries = co.solver.Stats.Queries - q0
+	if co.sctx != nil {
+		co.stats.Context = co.sctx.Stats().Diff(cs0)
+	}
 	body := lang.SeqOf(out...)
 	merged := &lang.Program{
 		Name:   p1.Name + "⊗" + p2.Name,

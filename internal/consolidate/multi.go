@@ -23,6 +23,9 @@ type MultiStats struct {
 	// Solver merges the per-pair solver statistics (each pair worker owns
 	// its own solver; only the query cache is shared).
 	Solver smt.Stats
+	// Context merges the per-pair incremental solving context statistics
+	// (each pair worker owns a context, layered under the shared cache).
+	Context smt.ContextStats
 	// Cache snapshots the shared SMT query cache after the run. When the
 	// caller supplied the cache (or a solver), counters are cumulative
 	// over that cache's lifetime, not just this run.
@@ -148,14 +151,17 @@ func allTree(progs []*lang.Program, opts Options, renumber, parallel, record boo
 	if parallel {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// A caller-supplied solver still forces serial execution — the solver
-	// itself is not safe for concurrent use. A caller-supplied (or
-	// freshly created) Cache does not: each pair worker gets its own
-	// solver backed by the shared, lock-striped cache, so later pairs and
-	// later levels reuse verdicts from earlier ones without serialising.
-	if opts.Solver != nil {
+	// A caller-supplied solver or solving context still forces serial
+	// execution — neither is safe for concurrent use, and every pair
+	// worker would share the one instance. A caller-supplied (or freshly
+	// created) Cache does not: each pair worker gets its own solver (and
+	// its own private context) backed by the shared, lock-striped cache,
+	// so later pairs and later levels reuse verdicts from earlier ones
+	// without serialising.
+	if opts.Solver != nil || opts.SolvingContext != nil {
 		workers = 1
-	} else if opts.Cache == nil {
+	}
+	if opts.Solver == nil && opts.Cache == nil {
 		opts.Cache = smt.NewCache(0)
 	}
 
@@ -205,6 +211,7 @@ func allTree(progs []*lang.Program, opts Options, renumber, parallel, record boo
 				ms.Pairs++
 				ms.SMTQueries += co.stats.SMTQueries
 				ms.Solver.Add(delta)
+				ms.Context.Add(co.stats.Context)
 				addStats(&ms.Rules, co.stats)
 				next[slot] = merged
 				if record {

@@ -285,9 +285,14 @@ func runPass(data RecordLibrary, opts Options,
 			var localCost int64
 			var localTime time.Duration
 			localLat := make([]int64, nUDFs)
+			// One verdict-row backing array per worker: rows are retained in
+			// bools, so they can't share storage, but they can share one
+			// allocation. Full slice expressions keep the rows independent.
+			backing := make([]bool, (hi-lo)*nUDFs)
 			for i := lo; i < hi; i++ {
 				lib.SetRecord(i)
-				row := make([]bool, nUDFs)
+				off := (i - lo) * nUDFs
+				row := backing[off : off+nUDFs : off+nUDFs]
 				c, t, err := eval(i, row, localLat)
 				if err != nil {
 					mu.Lock()

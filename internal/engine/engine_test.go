@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"consolidation/internal/consolidate"
 	"consolidation/internal/lang"
@@ -254,5 +255,33 @@ func TestNotificationLatency(t *testing.T) {
 	}
 	if maxOf(&cons.Metrics) >= maxOf(&many.Metrics) {
 		t.Errorf("consolidated completion latency did not improve")
+	}
+}
+
+// TestRunPassRowAllocation guards the per-worker verdict-row backing array:
+// runPass must not allocate one []bool per record. With the hoist, the whole
+// pass costs a handful of allocations regardless of record count; regressing
+// to per-record make([]bool, nUDFs) pushes the count past the record total.
+func TestRunPassRowAllocation(t *testing.T) {
+	const records, nUDFs = 512, 4
+	d := &toyData{vals: make([]int64, records)}
+	allocs := testing.AllocsPerRun(5, func() {
+		res, err := runPass(d, Options{Workers: 1}, func(lib RecordLibrary) evalFn {
+			return func(rec int, row []bool, lat []int64) (int64, time.Duration, error) {
+				row[rec%nUDFs] = true
+				return 1, 0, nil
+			}
+		}, nUDFs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Bools) != records {
+			t.Fatalf("got %d rows, want %d", len(res.Bools), records)
+		}
+	})
+	// bools header slice, one backing array, worker bookkeeping and harness
+	// overhead — far below one allocation per record.
+	if allocs > 64 {
+		t.Fatalf("runPass allocated %.0f times for %d records; per-record row allocation has regressed", allocs, records)
 	}
 }

@@ -84,6 +84,9 @@ func Infer(ctx *sym.Context, guard lang.BoolExpr, body lang.Stmt, opts Options) 
 	// live candidates plus the guard) is the same for every candidate.
 	for round := 0; round < opts.MaxHoudiniRounds && len(unstable) > 0; round++ {
 		post := sym.NewContext(ctx.Solver())
+		if sc := ctx.SolvingContext(); sc != nil {
+			post.UseSolvingContext(sc)
+		}
 		for _, f := range stable {
 			post.AssumeBool(f)
 		}

@@ -30,6 +30,10 @@ const (
 	// CheckSMTSound: an smt verdict contradicted by a verified
 	// brute-force model.
 	CheckSMTSound = "smt-soundness"
+	// CheckCtxAgree: a persistent solving context's verdict diverged from
+	// the stateless pipeline (or went unsound) — cold, memoized, after
+	// retraction, or under a starved budget.
+	CheckCtxAgree = "context-agreement"
 	// CheckErr marks infrastructure failures (consolidation or
 	// interpretation errored, registry rejected a program) — not a
 	// property violation, but still a bug in generator or system.
@@ -260,6 +264,96 @@ func CheckSMT(seed int64) *Failure {
 	}
 	if sharedGot := smt.NewWithCache(cache).Check(f); sharedGot != got {
 		return fail("shared-cache verdict %v differs from fresh verdict %v (cache poisoning)", sharedGot, got)
+	}
+	return nil
+}
+
+// CheckSMTContext generates an assumption set Ψ₁…Ψₙ and goal φ from the
+// seed and holds a persistent smt.Context to the stateless pipeline on
+// (⋀Ψ ∧ ¬φ): byte-identical wherever the stateless solver decides, only
+// soundly stronger where it exhausts (Unsat cross-checked against the
+// brute-force search), with retraction, memo-stability, and starved-
+// budget conservativeness variants — the properties
+// TestContextAgreementCampaign asserts, reported as a Failure.
+func CheckSMTContext(seed int64) *Failure {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := smt.DefaultFormulaGenConfig()
+	switch seed % 3 {
+	case 1:
+		cfg.UFBias = true
+	case 2:
+		cfg.LIABias = true
+	}
+	hyps := make([]logic.Formula, 2+rng.Intn(3))
+	for i := range hyps {
+		hyps[i] = smt.RandomFormula(rng, cfg)
+	}
+	goal := smt.RandomFormula(rng, cfg)
+	composed := logic.And(logic.And(hyps...), logic.Not(goal))
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Check: CheckCtxAgree, Seed: seed, Formula: composed.String(), Msg: fmt.Sprintf(format, args...)}
+	}
+	// agree: byte-identity wherever the stateless pipeline decides; a warm
+	// instance may decide a stateless Unknown, but an extra Unsat must
+	// survive the brute-force model search.
+	agree := func(label string, got, want smt.Result, query logic.Formula) *Failure {
+		if want != smt.Unknown {
+			if got != want {
+				return fail("%s: context verdict %v, fresh solver %v (query %s)", label, got, want, query)
+			}
+			return nil
+		}
+		if got == smt.Unsat {
+			if m, ok := smt.RefSearch(query, smt.DefaultRefConfig()); ok {
+				return fail("%s: context says unsat (fresh solver unknown) but a model exists: %v (query %s)", label, m.Vars, query)
+			}
+		}
+		return nil
+	}
+
+	fresh := smt.New()
+	want := fresh.Check(composed)
+
+	ctx := smt.NewSolvingContext()
+	ctx.BeginRun(smt.New())
+	aids := make([]int, len(hyps))
+	for i, h := range hyps {
+		aids[i] = ctx.Assert(h)
+	}
+	cone := func() []int { return aids }
+	got := ctx.CheckAssuming(aids, goal, cone)
+	if f := agree("cold check", got, want, composed); f != nil {
+		return f
+	}
+	if again := ctx.CheckAssuming(aids, goal, cone); again != got {
+		return fail("memoized re-check changed verdict: %v then %v", got, again)
+	}
+	sub := aids[:len(aids)-1]
+	subComposed := logic.And(logic.And(hyps[:len(hyps)-1]...), logic.Not(goal))
+	subWant := fresh.Check(subComposed)
+	subGot := ctx.CheckAssuming(sub, goal, func() []int { return sub })
+	if f := agree("after retraction", subGot, subWant, subComposed); f != nil {
+		return f
+	}
+	if again := ctx.CheckAssuming(aids, goal, cone); again != got {
+		return fail("verdict changed after retract/re-expand: %v then %v", got, again)
+	}
+	tinyCtx := smt.NewSolvingContext()
+	tinySolver := smt.New()
+	tinySolver.MaxConflicts, tinySolver.MaxLazyIters = 1, 1
+	tinyCtx.BeginRun(tinySolver)
+	tinyAids := make([]int, len(hyps))
+	for i, h := range hyps {
+		tinyAids[i] = tinyCtx.Assert(h)
+	}
+	tinyGot := tinyCtx.CheckAssuming(tinyAids, goal, func() []int { return tinyAids })
+	if tinyGot != smt.Unknown && want != smt.Unknown && tinyGot != want {
+		return fail("budget-capped context decided %v, full budget %v", tinyGot, want)
+	}
+	tinyFresh := smt.New()
+	tinyFresh.MaxConflicts, tinyFresh.MaxLazyIters = 1, 1
+	if tinyWant := tinyFresh.Check(composed); tinyGot == smt.Unknown && tinyWant != smt.Unknown {
+		return fail("budget-capped context lost verdict %v the stateless pipeline decides", tinyWant)
 	}
 	return nil
 }

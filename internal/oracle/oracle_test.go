@@ -130,6 +130,9 @@ func TestOracleCorpus(t *testing.T) {
 		if f := CheckSMT(seed); f != nil {
 			t.Fatal(f)
 		}
+		if f := CheckSMTContext(seed); f != nil {
+			t.Fatal(f)
+		}
 	}
 }
 

@@ -96,6 +96,11 @@ type BuildStats struct {
 	// consolidate.MultiStats.VerbatimFallbacks).
 	VerbatimFallbacks int
 	Rules             consolidate.Stats
+	// Context aggregates the per-merge-node incremental solving contexts
+	// over the pairs this build recomputed. Contexts persist across
+	// rebuilds keyed by tree span, so a node re-merged after a nearby
+	// change reuses its Tseitin encodings and learned clauses.
+	Context smt.ContextStats
 }
 
 // Snapshot is one published generation: an immutable view the engine can
@@ -165,6 +170,12 @@ type entry struct {
 	notifyID int
 }
 
+// span identifies a merge-tree node by the leaf range it covers. Spans are
+// positional, not content-keyed: after a change the node at the same
+// position re-merges mostly-unchanged programs, which is exactly when a
+// persistent solving context's memos pay off.
+type span struct{ lo, hi int }
+
 type preparedLeaf struct {
 	slot int
 	prog *lang.Program
@@ -188,11 +199,18 @@ type Registry struct {
 
 	snap atomic.Pointer[Snapshot]
 
-	// buildMu serialises rebuilds; the merge-node and prepared-leaf caches
-	// below are touched only under it.
+	// buildMu serialises rebuilds; the merge-node, prepared-leaf and
+	// solving-context caches below are touched only under it (the builder
+	// additionally guards them with its own mutex during a build's
+	// parallel fan-out).
 	buildMu sync.Mutex
 	nodes   map[string]*lang.Program
 	prep    map[QueryID]preparedLeaf
+	// sctxs holds one persistent solving context per merge-tree span.
+	// Distinct spans re-merge in distinct goroutines, but a span is only
+	// ever touched by its own pair worker within a build, and buildMu
+	// serialises builds — so each context sees strictly sequential use.
+	sctxs map[span]*smt.Context
 
 	kick      chan struct{}
 	done      chan struct{}
@@ -224,6 +242,7 @@ func New(opts Options) (*Registry, error) {
 		nextID: 1,
 		nodes:  map[string]*lang.Program{},
 		prep:   map[QueryID]preparedLeaf{},
+		sctxs:  map[span]*smt.Context{},
 		kick:   make(chan struct{}, 1),
 		done:   make(chan struct{}),
 	}
@@ -473,6 +492,7 @@ func (r *Registry) Rebuild() (*Snapshot, error) {
 		// Registry drained: the caches hold nothing reusable.
 		r.nodes = map[string]*lang.Program{}
 		r.prep = map[QueryID]preparedLeaf{}
+		r.sctxs = map[span]*smt.Context{}
 	} else {
 		b := r.newBuilder(ents)
 		raw, err := b.run()
@@ -663,7 +683,20 @@ func (b *builder) build(lo, hi, size int) *lang.Program {
 	}
 
 	b.sem <- struct{}{}
-	co := consolidate.New(b.opts)
+	opts := b.opts
+	if !opts.NoSolvingContext {
+		// Check out this span's persistent solving context. Only this pair
+		// worker touches it during the build, and buildMu serialises builds.
+		b.mu.Lock()
+		sc, ok := b.reg.sctxs[span{lo, hi}]
+		if !ok {
+			sc = smt.NewSolvingContext()
+			b.reg.sctxs[span{lo, hi}] = sc
+		}
+		b.mu.Unlock()
+		opts.SolvingContext = sc
+	}
+	co := consolidate.New(opts)
 	merged, err := co.Pair(left, right)
 	<-b.sem
 	if err != nil {
@@ -676,6 +709,7 @@ func (b *builder) build(lo, hi, size int) *lang.Program {
 	b.stats.PairsMerged++
 	b.stats.SMTQueries += st.SMTQueries
 	b.stats.VerbatimFallbacks += st.FuelExhausted
+	b.stats.Context.Add(st.Context)
 	addRules(&b.stats.Rules, st)
 	b.mu.Unlock()
 	return merged
@@ -714,14 +748,20 @@ func (b *builder) fail(err error) {
 // shape, not by recording which nodes the build visited.
 func (b *builder) prune() {
 	keep := make(map[string]bool, len(b.ents))
+	keepSpan := make(map[span]bool, len(b.ents))
 	size := 1
 	for size < len(b.ents) {
 		size *= 2
 	}
-	b.collectKeys(0, len(b.ents), size, keep)
+	b.collectKeys(0, len(b.ents), size, keep, keepSpan)
 	for k := range b.reg.nodes {
 		if !keep[k] {
 			delete(b.reg.nodes, k)
+		}
+	}
+	for sp := range b.reg.sctxs {
+		if !keepSpan[sp] {
+			delete(b.reg.sctxs, sp)
 		}
 	}
 	liveID := make(map[QueryID]bool, len(b.ents))
@@ -735,20 +775,22 @@ func (b *builder) prune() {
 	}
 }
 
-// collectKeys records the key of every merge node of the current tree.
-func (b *builder) collectKeys(lo, hi, size int, keep map[string]bool) {
+// collectKeys records the key and span of every merge node of the current
+// tree.
+func (b *builder) collectKeys(lo, hi, size int, keep map[string]bool, keepSpan map[span]bool) {
 	if hi-lo <= 1 {
 		return
 	}
 	half := size / 2
 	mid := lo + half
 	if mid >= hi {
-		b.collectKeys(lo, hi, half, keep)
+		b.collectKeys(lo, hi, half, keep, keepSpan)
 		return
 	}
 	keep[b.key(lo, hi)] = true
-	b.collectKeys(lo, mid, half, keep)
-	b.collectKeys(mid, hi, half, keep)
+	keepSpan[span{lo, hi}] = true
+	b.collectKeys(lo, mid, half, keep, keepSpan)
+	b.collectKeys(mid, hi, half, keep, keepSpan)
 }
 
 func addRules(dst *consolidate.Stats, s consolidate.Stats) {

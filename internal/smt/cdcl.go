@@ -354,6 +354,120 @@ func (s *cdcl) solve() (satStatus, []int8) {
 	}
 }
 
+// ensureVars grows the solver's variable arrays to accommodate variables up
+// to n; the incremental Context interns new atoms and Tseitin auxiliaries
+// between checks, so the instance must widen without losing learned state.
+func (s *cdcl) ensureVars(n int) {
+	if n <= s.nvars {
+		return
+	}
+	grow := n + 1 - len(s.assign)
+	if grow > 0 {
+		s.assign = append(s.assign, make([]int8, grow)...)
+		s.level = append(s.level, make([]int, grow)...)
+		s.reason = append(s.reason, make([]int, grow)...)
+		s.activity = append(s.activity, make([]float64, grow)...)
+		s.phase = append(s.phase, make([]int8, grow)...)
+	}
+	for gw := 2*(n+1) - len(s.watches); gw > 0; gw-- {
+		s.watches = append(s.watches, nil)
+	}
+	s.nvars = n
+}
+
+// solveAssume runs the CDCL loop under a sequence of assumption literals,
+// keeping the clause database — including clauses learned on earlier calls —
+// for the next invocation. Assumptions are decided first, in order, as
+// decisions without reasons; a falsified assumption means the database is
+// unsatisfiable under the assumptions. budget bounds the conflicts of this
+// call only. On every exit the trail is rewound to level 0, so the instance
+// is immediately reusable.
+func (s *cdcl) solveAssume(assumps []int, budget int) (satStatus, []int8) {
+	s.cancelUntil(0)
+	qhead := 0
+	// Top-level propagation of unit clauses, including ones added since the
+	// previous call. Re-propagating the level-0 trail from position 0 also
+	// wakes any new clause that is already unit under the trail.
+	for id, cl := range s.clauses {
+		if len(cl) == 1 {
+			if !s.enqueue(cl[0], id) {
+				return satUnsat, nil
+			}
+		}
+	}
+	if s.propagate(&qhead) >= 0 {
+		return satUnsat, nil
+	}
+
+	limit := s.conflicts + budget
+	restartIdx := 1
+	conflictsAtRestart := 0
+	restartBudget := 32 * luby(restartIdx)
+
+	for {
+		conflict := s.propagate(&qhead)
+		if conflict >= 0 {
+			s.conflicts++
+			conflictsAtRestart++
+			if s.conflicts > limit {
+				s.cancelUntil(0)
+				return satUnknown, nil
+			}
+			if s.decisionLevel() == 0 {
+				return satUnsat, nil
+			}
+			learned, bj := s.analyze(conflict)
+			s.cancelUntil(bj)
+			qhead = len(s.trail)
+			id := s.addClause(learned)
+			if !s.enqueue(learned[0], id) {
+				s.cancelUntil(0)
+				return satUnsat, nil
+			}
+			s.varInc /= 0.95
+			continue
+		}
+		// Restart?
+		if conflictsAtRestart >= restartBudget {
+			restartIdx++
+			restartBudget = 32 * luby(restartIdx)
+			conflictsAtRestart = 0
+			s.cancelUntil(0)
+			qhead = len(s.trail)
+			continue
+		}
+		// Decide pending assumptions before any free decision.
+		if dl := s.decisionLevel(); dl < len(assumps) {
+			a := assumps[dl]
+			switch s.litValue(a) {
+			case 1:
+				// Already satisfied: open an empty decision level so the
+				// assumption index keeps advancing.
+				s.limits = append(s.limits, len(s.trail))
+			case -1:
+				s.cancelUntil(0)
+				return satUnsat, nil
+			default:
+				s.limits = append(s.limits, len(s.trail))
+				s.enqueue(a, noReason)
+			}
+			continue
+		}
+		v := s.pickBranch()
+		if v == 0 {
+			model := append([]int8(nil), s.assign...)
+			s.cancelUntil(0)
+			return satSat, model
+		}
+		s.limits = append(s.limits, len(s.trail))
+		lit := v
+		if s.phase[v] == -1 {
+			lit = -v
+		}
+		s.enqueue(lit, noReason)
+	}
+}
+
 // solveCDCL is the package entry point matching solveSAT's contract.
 func solveCDCL(nvars int, clauses [][]int, maxConflicts int) (satStatus, []int8) {
 	// Copy clauses: the solver reorders literals in place for watching.

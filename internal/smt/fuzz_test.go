@@ -94,12 +94,16 @@ func checkSoundnessSeed(t *testing.T, seed uint64) {
 
 // FuzzSMTSoundness drives the solver with random QF_UFLIA formulas and
 // cross-checks every verdict against the brute-force reference model
-// search plus the cache-consistency invariants.
+// search, the cache-consistency invariants, and the incremental-context
+// agreement property.
 func FuzzSMTSoundness(f *testing.F) {
 	for _, s := range corpusSeeds(f) {
 		f.Add(s)
 	}
-	f.Fuzz(checkSoundnessSeed)
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		checkSoundnessSeed(t, seed)
+		checkContextSeed(t, seed)
+	})
 }
 
 // TestSMTSoundnessCorpus replays the seed corpus deterministically under

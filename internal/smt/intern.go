@@ -21,7 +21,6 @@ package smt
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"consolidation/internal/logic"
@@ -121,66 +120,90 @@ func (in *interner) internTerm(t logic.Term) int {
 	panic("smt: unknown term")
 }
 
-// lin is a linear combination Σ coef[id]·entity(id) + c over "atomic"
-// arithmetic entities: variables, uninterpreted applications, and
-// canonicalised nonlinear products.
-type lin struct {
-	coef map[int]int64
-	c    int64
+// lin is a linear combination Σ kᵢ·entity(idᵢ) + c over "atomic" arithmetic
+// entities: variables, uninterpreted applications, and canonicalised
+// nonlinear products. Terms are kept sorted by entity id with nonzero
+// coefficients, so linear forms have one canonical representation and never
+// need a map or a sort on the solver's hot path. Operations are functional:
+// they return fresh term slices and never mutate shared backing arrays.
+type lterm struct {
+	id int
+	k  int64
 }
 
-func newLin() lin { return lin{coef: map[int]int64{}} }
+type lin struct {
+	terms []lterm
+	c     int64
+}
+
+func newLin() lin { return lin{} }
 
 func (l lin) addTerm(id int, k int64) lin {
-	l.coef[id] += k
-	if l.coef[id] == 0 {
-		delete(l.coef, id)
+	pos := len(l.terms)
+	for i, t := range l.terms {
+		if t.id >= id {
+			pos = i
+			break
+		}
 	}
-	return l
+	if pos < len(l.terms) && l.terms[pos].id == id {
+		nk := l.terms[pos].k + k
+		out := make([]lterm, 0, len(l.terms))
+		out = append(out, l.terms[:pos]...)
+		if nk != 0 {
+			out = append(out, lterm{id: id, k: nk})
+		}
+		out = append(out, l.terms[pos+1:]...)
+		return lin{terms: out, c: l.c}
+	}
+	if k == 0 {
+		return l
+	}
+	out := make([]lterm, 0, len(l.terms)+1)
+	out = append(out, l.terms[:pos]...)
+	out = append(out, lterm{id: id, k: k})
+	out = append(out, l.terms[pos:]...)
+	return lin{terms: out, c: l.c}
 }
 
 func (l lin) scale(k int64) lin {
-	out := newLin()
-	out.c = l.c * k
-	for id, v := range l.coef {
-		if v*k != 0 {
-			out.coef[id] = v * k
-		}
+	out := lin{c: l.c * k}
+	if k == 0 {
+		return out
+	}
+	out.terms = make([]lterm, len(l.terms))
+	for i, t := range l.terms {
+		out.terms[i] = lterm{id: t.id, k: t.k * k}
 	}
 	return out
 }
 
 func (l lin) add(m lin) lin {
-	out := newLin()
-	out.c = l.c + m.c
-	for id, v := range l.coef {
-		out.coef[id] = v
-	}
-	for id, v := range m.coef {
-		out.coef[id] += v
-		if out.coef[id] == 0 {
-			delete(out.coef, id)
+	out := lin{c: l.c + m.c, terms: make([]lterm, 0, len(l.terms)+len(m.terms))}
+	i, j := 0, 0
+	for i < len(l.terms) && j < len(m.terms) {
+		a, b := l.terms[i], m.terms[j]
+		switch {
+		case a.id < b.id:
+			out.terms = append(out.terms, a)
+			i++
+		case a.id > b.id:
+			out.terms = append(out.terms, b)
+			j++
+		default:
+			if k := a.k + b.k; k != 0 {
+				out.terms = append(out.terms, lterm{id: a.id, k: k})
+			}
+			i++
+			j++
 		}
 	}
+	out.terms = append(out.terms, l.terms[i:]...)
+	out.terms = append(out.terms, m.terms[j:]...)
 	return out
 }
 
-func (l lin) isConst() bool { return len(l.coef) == 0 }
-
-// key returns a canonical string for the linear form (sorted by entity id).
-func (l lin) key() string {
-	ids := make([]int, 0, len(l.coef))
-	for id := range l.coef {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	var b strings.Builder
-	for _, id := range ids {
-		fmt.Fprintf(&b, "%d*n%d+", l.coef[id], id)
-	}
-	fmt.Fprintf(&b, "%d", l.c)
-	return b.String()
-}
+func (l lin) isConst() bool { return len(l.terms) == 0 }
 
 // linOfTerm converts a term to a linear form, interning opaque subterms
 // (applications and nonlinear products) as atomic entities.

@@ -52,6 +52,10 @@ func absU64(v int64) uint64 {
 // qnorm builds a normalised fast-path rational, assuming no overflow
 // occurred while producing n and d.
 func qnorm(n, d int64) qnum {
+	if d == 1 {
+		// Already normalised: den > 0 and gcd(|n|, 1) = 1.
+		return qnum{num: n, den: 1}
+	}
 	if n == math.MinInt64 || d == math.MinInt64 {
 		// The sign-fix below negates; -MinInt64 overflows. Normalise in
 		// big.Rat instead and drop back to the fast path when the reduced
@@ -104,13 +108,20 @@ func qFromBig(r *big.Rat) qnum {
 // qAdd returns a + b.
 func qAdd(a, b qnum) qnum {
 	if a.big == nil && b.big == nil {
-		// a.num/a.den + b.num/b.den with cross-multiplication.
-		n1, ok1 := mul64(a.num, b.den)
-		n2, ok2 := mul64(b.num, a.den)
-		d, ok3 := mul64(a.den, b.den)
-		if ok1 && ok2 && ok3 {
-			if n, ok := add64(n1, n2); ok {
-				return qnorm(n, d)
+		if a.den == 1 && b.den == 1 {
+			// Integer + integer, by far the common case on this workload.
+			if n, ok := add64(a.num, b.num); ok {
+				return qnum{num: n, den: 1}
+			}
+		} else {
+			// a.num/a.den + b.num/b.den with cross-multiplication.
+			n1, ok1 := mul64(a.num, b.den)
+			n2, ok2 := mul64(b.num, a.den)
+			d, ok3 := mul64(a.den, b.den)
+			if ok1 && ok2 && ok3 {
+				if n, ok := add64(n1, n2); ok {
+					return qnorm(n, d)
+				}
 			}
 		}
 	}
@@ -134,15 +145,22 @@ func qNeg(a qnum) qnum {
 // qMul returns a * b.
 func qMul(a, b qnum) qnum {
 	if a.big == nil && b.big == nil {
-		// Cross-reduce before multiplying to keep magnitudes small.
-		g1 := gcd64(a.num, b.den)
-		g2 := gcd64(b.num, a.den)
-		n1, d1 := a.num/g1, b.den/g1
-		n2, d2 := b.num/g2, a.den/g2
-		n, ok1 := mul64(n1, n2)
-		d, ok2 := mul64(d1, d2)
-		if ok1 && ok2 {
-			return qnorm(n, d)
+		if a.den == 1 && b.den == 1 {
+			// Integer × integer, by far the common case on this workload.
+			if n, ok := mul64(a.num, b.num); ok {
+				return qnum{num: n, den: 1}
+			}
+		} else {
+			// Cross-reduce before multiplying to keep magnitudes small.
+			g1 := gcd64(a.num, b.den)
+			g2 := gcd64(b.num, a.den)
+			n1, d1 := a.num/g1, b.den/g1
+			n2, d2 := b.num/g2, a.den/g2
+			n, ok1 := mul64(n1, n2)
+			d, ok2 := mul64(d1, d2)
+			if ok1 && ok2 {
+				return qnorm(n, d)
+			}
 		}
 	}
 	return qFromBig(new(big.Rat).Mul(a.toBig(), b.toBig()))
@@ -168,6 +186,16 @@ func (q qnum) normSign() qnum {
 // qCmp compares a and b: -1, 0, or +1.
 func qCmp(a, b qnum) int {
 	if a.big == nil && b.big == nil {
+		if a.den == 1 && b.den == 1 {
+			switch {
+			case a.num < b.num:
+				return -1
+			case a.num > b.num:
+				return 1
+			default:
+				return 0
+			}
+		}
 		l, ok1 := mul64(a.num, b.den)
 		r, ok2 := mul64(b.num, a.den)
 		if ok1 && ok2 {

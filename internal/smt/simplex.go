@@ -1,20 +1,52 @@
 package smt
 
+import "math/big"
+
 // simplex is a general simplex solver in the style of Dutertre and de Moura
 // ("A Fast Linear-Arithmetic Solver for DPLL(T)"): variables carry optional
 // lower/upper bounds, slack variables are defined by tableau rows over the
 // structural variables, and feasibility is restored by pivoting with
 // Bland's rule. Arithmetic uses qnum, a rational with an int64 fast path
 // that promotes to big.Rat on overflow.
+//
+// Storage is dense and pointer-free: the tableau is one flat slice of qcell
+// (num/den pairs with promoted big.Rat values boxed in a side table) indexed
+// by row*stride+column, and bounds/values are flat arrays. The consolidation
+// workload produces small tableaux (tens of variables), where dense scans
+// beat hash maps by a wide margin and pointer-free rows cost the garbage
+// collector nothing. The single backing array makes clone one allocation
+// plus a memmove, and adding a slack variable's column is free while the
+// width stays under the stride — both matter because branch-and-bound and
+// the Nelson–Oppen probes clone the tableau at every node. The pivoting
+// rule, the pivot budget and the exact rational arithmetic are unchanged, so
+// the solver visits exactly the same bases as the row-per-slice
+// representation.
 type simplex struct {
 	n          int // total variables (structural + slack)
 	structural int // ids < structural are integer-constrained structural vars
-	rows       map[int]map[int]qnum
-	lower      map[int]qnum
-	upper      map[int]qnum
-	hasLower   map[int]bool
-	hasUpper   map[int]bool
-	beta       map[int]qnum
+	// rowOf[x] is the tableau row owned by basic variable x, -1 when x is
+	// nonbasic. rowVar is the inverse: the basic variable of each row, and
+	// its length is the row count.
+	rowOf  []int32
+	rowVar []int32
+	// tab holds the tableau cells: row ri occupies
+	// tab[ri*stride : ri*stride+n], and cells in columns [n, stride) are
+	// kept at cellZero so growing n claims them without touching memory.
+	// tab[ri*stride+y] is the coefficient of variable y in the defining row
+	// of basic variable rowVar[ri]. A row never carries its own basic
+	// variable (that coefficient is implicitly zero).
+	tab    []qcell
+	stride int
+	// bigTab boxes the rare coefficients that overflow int64; a qcell with
+	// den == 0 indexes into it. Entries are immutable once stored.
+	bigTab   []*big.Rat
+	lower    []qnum
+	upper    []qnum
+	hasLower []bool
+	hasUpper []bool
+	beta     []qnum
+	// scratch is a per-instance row buffer for pivoting; never cloned.
+	scratch []qcell
 	// pivots is shared across clones so that the whole branch-and-bound
 	// tree of one theory check draws from a single budget; per-clone
 	// budgets would multiply exponentially.
@@ -22,78 +54,163 @@ type simplex struct {
 	maxPivots int
 }
 
-func newSimplex(structural, maxPivots int) *simplex {
-	return &simplex{
+// qcell is a pointer-free tableau cell. den > 0 holds the value num/den
+// inline; den == 0 marks an overflow cell whose big.Rat lives in the
+// simplex's bigTab at index num. The all-zero qcell is never materialised:
+// every cell is written explicitly, zero as cellZero.
+type qcell struct{ num, den int64 }
+
+var cellZero = qcell{num: 0, den: 1}
+
+// isZero reports whether the cell holds 0; big.Rat cells are never zero
+// (qnorm only promotes on overflow, and 0 never overflows).
+func (c qcell) isZero() bool { return c.den != 0 && c.num == 0 }
+
+func (s *simplex) loadCell(c qcell) qnum {
+	if c.den != 0 {
+		return qnum{num: c.num, den: c.den}
+	}
+	return qnum{big: s.bigTab[c.num]}
+}
+
+func (s *simplex) storeCell(q qnum) qcell {
+	if q.big == nil {
+		return qcell{num: q.num, den: q.den}
+	}
+	s.bigTab = append(s.bigTab, q.big)
+	return qcell{num: int64(len(s.bigTab) - 1), den: 0}
+}
+
+// row returns the defining row of tableau row ri, n cells wide.
+func (s *simplex) row(ri int32) []qcell {
+	base := int(ri) * s.stride
+	return s.tab[base : base+s.n]
+}
+
+// sterm is one addend of a slack definition: coefficient c on variable x.
+type sterm struct {
+	x int
+	c qnum
+}
+
+// newSimplex builds an empty tableau over the given structural variables.
+// slackHint is the expected number of addSlack calls: the stride and the
+// backing array are sized for it upfront, so a well-hinted instance never
+// repacks. The hint only affects capacity, never values.
+func newSimplex(structural, maxPivots, slackHint int) *simplex {
+	// +2 keeps one probe slack per clone within stride (Nelson–Oppen adds a
+	// difference slack to each probe clone).
+	stride := structural + slackHint + 2
+	s := &simplex{
 		n:          structural,
 		structural: structural,
-		rows:       map[int]map[int]qnum{},
-		lower:      map[int]qnum{},
-		upper:      map[int]qnum{},
-		hasLower:   map[int]bool{},
-		hasUpper:   map[int]bool{},
-		beta:       map[int]qnum{},
+		stride:     stride,
+		rowOf:      make([]int32, structural, structural+slackHint+2),
+		tab:        make([]qcell, 0, (slackHint+2)*stride),
+		lower:      make([]qnum, structural, structural+slackHint+2),
+		upper:      make([]qnum, structural, structural+slackHint+2),
+		hasLower:   make([]bool, structural, structural+slackHint+2),
+		hasUpper:   make([]bool, structural, structural+slackHint+2),
+		beta:       make([]qnum, structural, structural+slackHint+2),
 		pivots:     new(int),
 		maxPivots:  maxPivots,
 	}
+	for i := 0; i < structural; i++ {
+		s.rowOf[i] = -1
+		s.beta[i] = qZero
+	}
+	return s
 }
 
-func (s *simplex) val(x int) qnum {
-	if v, ok := s.beta[x]; ok {
-		return v
+func (s *simplex) val(x int) qnum { return s.beta[x] }
+
+// widen repacks the tableau with a larger stride once the variable count
+// outgrows the current one. Cells past the old stride start as cellZero,
+// preserving the [n, stride) zero-fill invariant.
+func (s *simplex) widen(newStride int) {
+	old := s.tab
+	os := s.stride
+	nrows := len(s.rowVar)
+	s.tab = make([]qcell, nrows*newStride, (nrows+8)*newStride)
+	for ri := 0; ri < nrows; ri++ {
+		copy(s.tab[ri*newStride:ri*newStride+os], old[ri*os:(ri+1)*os])
+		for z := ri*newStride + os; z < (ri+1)*newStride; z++ {
+			s.tab[z] = cellZero
+		}
 	}
-	return qZero
+	s.stride = newStride
 }
 
 // addSlack introduces a slack variable defined as the given combination of
 // existing variables (no constant part) and returns its id. The current
 // assignment is extended consistently.
-func (s *simplex) addSlack(combo map[int]qnum) int {
+func (s *simplex) addSlack(combo []sterm) int {
 	id := s.n
 	s.n++
-	row := map[int]qnum{}
+	s.rowOf = append(s.rowOf, -1)
+	s.lower = append(s.lower, qnum{})
+	s.upper = append(s.upper, qnum{})
+	s.hasLower = append(s.hasLower, false)
+	s.hasUpper = append(s.hasUpper, false)
+	if s.n > s.stride {
+		// Grow by a fixed step rather than doubling: repacks stay cheap on
+		// these small tableaux, and a tight stride keeps every clone's
+		// memmove close to the live cell count.
+		s.widen(s.n + 16)
+	}
+	// Existing rows gain the new variable's column for free: their cells in
+	// [n-1, stride) are already cellZero. Append one fresh zero row, growing
+	// the backing array with several rows of headroom at a time.
+	base := len(s.tab)
+	if cap(s.tab) < base+s.stride {
+		ncap := 2 * cap(s.tab)
+		if ncap < base+s.stride {
+			ncap = base + s.stride
+		}
+		nt := make([]qcell, base, ncap)
+		copy(nt, s.tab)
+		s.tab = nt
+	}
+	s.tab = s.tab[:base+s.stride]
+	newRow := s.tab[base:]
+	for i := range newRow {
+		newRow[i] = cellZero
+	}
+	row := s.tab[base : base+s.n]
 	v := qZero
-	for x, c := range combo {
-		if c.qSign() == 0 {
+	for _, t := range combo {
+		if t.c.qSign() == 0 {
 			continue
 		}
-		if xrow, basic := s.rows[x]; basic {
+		if xri := s.rowOf[t.x]; xri >= 0 {
 			// Substitute the basic variable by its row.
+			xrow := s.row(xri)
 			for y, cy := range xrow {
-				acc := qMul(c, cy)
-				if old, ok := row[y]; ok {
-					acc = qAdd(old, acc)
+				if cy.isZero() {
+					continue
 				}
-				if acc.qSign() == 0 {
-					delete(row, y)
-				} else {
-					row[y] = acc
-				}
+				row[y] = s.storeCell(qAdd(s.loadCell(row[y]), qMul(t.c, s.loadCell(cy))))
 			}
 		} else {
-			acc := c
-			if old, ok := row[x]; ok {
-				acc = qAdd(old, c)
-			}
-			if acc.qSign() == 0 {
-				delete(row, x)
-			} else {
-				row[x] = acc
-			}
+			row[t.x] = s.storeCell(qAdd(s.loadCell(row[t.x]), t.c))
 		}
-		v = qAdd(v, qMul(c, s.val(x)))
+		v = qAdd(v, qMul(t.c, s.beta[t.x]))
 	}
-	s.rows[id] = row
-	s.beta[id] = v
+	ri := int32(len(s.rowVar))
+	s.rowVar = append(s.rowVar, int32(id))
+	s.rowOf[id] = ri
+	s.beta = append(s.beta, v)
 	return id
 }
 
 // update changes the value of nonbasic variable x to v, adjusting all basic
 // variables.
 func (s *simplex) update(x int, v qnum) {
-	delta := qSub(v, s.val(x))
-	for b, row := range s.rows {
-		if c, ok := row[x]; ok {
-			s.beta[b] = qAdd(s.val(b), qMul(c, delta))
+	delta := qSub(v, s.beta[x])
+	for ri := range s.rowVar {
+		if c := s.tab[ri*s.stride+x]; !c.isZero() {
+			b := s.rowVar[ri]
+			s.beta[b] = qAdd(s.beta[b], qMul(s.loadCell(c), delta))
 		}
 	}
 	s.beta[x] = v
@@ -110,7 +227,7 @@ func (s *simplex) assertLower(x int, c qnum) bool {
 	}
 	s.lower[x] = c
 	s.hasLower[x] = true
-	if _, basic := s.rows[x]; !basic && qCmp(s.val(x), c) < 0 {
+	if s.rowOf[x] < 0 && qCmp(s.beta[x], c) < 0 {
 		s.update(x, c)
 	}
 	return true
@@ -127,7 +244,7 @@ func (s *simplex) assertUpper(x int, c qnum) bool {
 	}
 	s.upper[x] = c
 	s.hasUpper[x] = true
-	if _, basic := s.rows[x]; !basic && qCmp(s.val(x), c) > 0 {
+	if s.rowOf[x] < 0 && qCmp(s.beta[x], c) > 0 {
 		s.update(x, c)
 	}
 	return true
@@ -135,54 +252,63 @@ func (s *simplex) assertUpper(x int, c qnum) bool {
 
 // pivot exchanges basic x with nonbasic y.
 func (s *simplex) pivot(x, y int) {
-	xrow := s.rows[x]
-	a := xrow[y]
-	delete(s.rows, x)
-	// y = (x - Σ_{z≠y} xrow[z]·z) / a
-	yrow := map[int]qnum{x: qDiv(qOne, a)}
-	for z, cz := range xrow {
-		if z == y {
-			continue
-		}
-		yrow[z] = qNeg(qDiv(cz, a))
+	xri := s.rowOf[x]
+	xrow := s.row(xri)
+	a := s.loadCell(xrow[y])
+	// y = (x - Σ_{z≠y} xrow[z]·z) / a, built in scratch then copied over the
+	// old row in place so pivoting never allocates.
+	if cap(s.scratch) < s.n {
+		s.scratch = make([]qcell, s.n, s.n+16)
 	}
-	s.rows[y] = yrow
+	yrow := s.scratch[:s.n]
+	for z, cz := range xrow {
+		if z == y || cz.isZero() {
+			yrow[z] = cellZero
+			continue
+		}
+		yrow[z] = s.storeCell(qNeg(qDiv(s.loadCell(cz), a)))
+	}
+	yrow[x] = s.storeCell(qDiv(qOne, a))
+	yrow[y] = cellZero
+	copy(xrow, yrow)
+	s.rowVar[xri] = int32(y)
+	s.rowOf[y] = xri
+	s.rowOf[x] = -1
 	// Substitute y in all other rows.
-	for b, row := range s.rows {
-		if b == y {
+	for ri := range s.rowVar {
+		if int32(ri) == xri {
 			continue
 		}
-		cy, ok := row[y]
-		if !ok {
+		row := s.row(int32(ri))
+		cyc := row[y]
+		if cyc.isZero() {
 			continue
 		}
-		delete(row, y)
+		cy := s.loadCell(cyc)
+		row[y] = cellZero
 		for z, cz := range yrow {
-			acc := qMul(cy, cz)
-			if old, ok := row[z]; ok {
-				acc = qAdd(old, acc)
+			if cz.isZero() {
+				continue
 			}
-			if acc.qSign() == 0 {
-				delete(row, z)
-			} else {
-				row[z] = acc
-			}
+			row[z] = s.storeCell(qAdd(s.loadCell(row[z]), qMul(cy, s.loadCell(cz))))
 		}
 	}
 }
 
 // pivotAndUpdate makes basic x take value v by pivoting with nonbasic y.
 func (s *simplex) pivotAndUpdate(x, y int, v qnum) {
-	a := s.rows[x][y]
-	theta := qDiv(qSub(v, s.val(x)), a)
+	xri := s.rowOf[x]
+	a := s.loadCell(s.tab[int(xri)*s.stride+y])
+	theta := qDiv(qSub(v, s.beta[x]), a)
 	s.beta[x] = v
-	s.beta[y] = qAdd(s.val(y), theta)
-	for b, row := range s.rows {
-		if b == x {
+	s.beta[y] = qAdd(s.beta[y], theta)
+	for ri := range s.rowVar {
+		if int32(ri) == xri {
 			continue
 		}
-		if c, ok := row[y]; ok {
-			s.beta[b] = qAdd(s.val(b), qMul(c, theta))
+		if c := s.tab[ri*s.stride+y]; !c.isZero() {
+			b := s.rowVar[ri]
+			s.beta[b] = qAdd(s.beta[b], qMul(s.loadCell(c), theta))
 		}
 	}
 	s.pivot(x, y)
@@ -203,14 +329,14 @@ func (s *simplex) check() (feasible, budgetExceeded bool) {
 		var target qnum
 		var below bool
 		for b := 0; b < s.n; b++ {
-			if _, basic := s.rows[b]; !basic {
+			if s.rowOf[b] < 0 {
 				continue
 			}
-			if s.hasLower[b] && qCmp(s.val(b), s.lower[b]) < 0 {
+			if s.hasLower[b] && qCmp(s.beta[b], s.lower[b]) < 0 {
 				x, target, below = b, s.lower[b], true
 				break
 			}
-			if s.hasUpper[b] && qCmp(s.val(b), s.upper[b]) > 0 {
+			if s.hasUpper[b] && qCmp(s.beta[b], s.upper[b]) > 0 {
 				x, target, below = b, s.upper[b], false
 				break
 			}
@@ -218,23 +344,23 @@ func (s *simplex) check() (feasible, budgetExceeded bool) {
 		if x < 0 {
 			return true, false
 		}
-		row := s.rows[x]
+		row := s.row(s.rowOf[x])
 		y := -1
 		for cand := 0; cand < s.n; cand++ {
-			c, ok := row[cand]
-			if !ok {
+			cc := row[cand]
+			if cc.isZero() {
 				continue
 			}
-			sign := c.qSign()
+			sign := s.loadCell(cc).qSign()
 			if below {
 				// Need to increase x.
 				if sign > 0 {
-					if !s.hasUpper[cand] || qCmp(s.val(cand), s.upper[cand]) < 0 {
+					if !s.hasUpper[cand] || qCmp(s.beta[cand], s.upper[cand]) < 0 {
 						y = cand
 						break
 					}
-				} else if sign < 0 {
-					if !s.hasLower[cand] || qCmp(s.val(cand), s.lower[cand]) > 0 {
+				} else {
+					if !s.hasLower[cand] || qCmp(s.beta[cand], s.lower[cand]) > 0 {
 						y = cand
 						break
 					}
@@ -242,12 +368,12 @@ func (s *simplex) check() (feasible, budgetExceeded bool) {
 			} else {
 				// Need to decrease x.
 				if sign > 0 {
-					if !s.hasLower[cand] || qCmp(s.val(cand), s.lower[cand]) > 0 {
+					if !s.hasLower[cand] || qCmp(s.beta[cand], s.lower[cand]) > 0 {
 						y = cand
 						break
 					}
-				} else if sign < 0 {
-					if !s.hasUpper[cand] || qCmp(s.val(cand), s.upper[cand]) < 0 {
+				} else {
+					if !s.hasUpper[cand] || qCmp(s.beta[cand], s.upper[cand]) < 0 {
 						y = cand
 						break
 					}
@@ -261,50 +387,56 @@ func (s *simplex) check() (feasible, budgetExceeded bool) {
 	}
 }
 
-// clone copies the solver state; qnum values are immutable.
+// clone copies the solver state; cells are plain values and big.Rat entries
+// are immutable, so every slice copies by memmove — the tableau in
+// particular is a single allocation. The copies are independent: a clone
+// growing its tableau appends to (or repacks) its own backing array and its
+// own bigTab, never the parent's.
 func (s *simplex) clone() *simplex {
-	out := &simplex{
+	// Pack the per-variable slices into three arena allocations (int32s,
+	// qnums, bools); full slice expressions cap each view so a clone growing
+	// one of them reallocates that slice alone instead of clobbering its
+	// arena neighbours.
+	// Each section gets one spare slot (and the tableau one spare row) so a
+	// probe clone's single addSlack call grows fully in place.
+	no, nv := len(s.rowOf), len(s.rowVar)
+	ints := make([]int32, no+nv+2)
+	copy(ints, s.rowOf)
+	copy(ints[no+1:], s.rowVar)
+	nl, nu, nb := len(s.lower), len(s.upper), len(s.beta)
+	qs := make([]qnum, nl+nu+nb+3)
+	copy(qs, s.lower)
+	copy(qs[nl+1:], s.upper)
+	copy(qs[nl+nu+2:], s.beta)
+	nh, nk := len(s.hasLower), len(s.hasUpper)
+	bs := make([]bool, nh+nk+2)
+	copy(bs, s.hasLower)
+	copy(bs[nh+1:], s.hasUpper)
+	nt := make([]qcell, len(s.tab), len(s.tab)+s.stride)
+	copy(nt, s.tab)
+	return &simplex{
 		n:          s.n,
 		structural: s.structural,
-		rows:       make(map[int]map[int]qnum, len(s.rows)),
-		lower:      make(map[int]qnum, len(s.lower)),
-		upper:      make(map[int]qnum, len(s.upper)),
-		hasLower:   make(map[int]bool, len(s.hasLower)),
-		hasUpper:   make(map[int]bool, len(s.hasUpper)),
-		beta:       make(map[int]qnum, len(s.beta)),
+		rowOf:      ints[0 : no : no+1],
+		rowVar:     ints[no+1 : no+1+nv : no+nv+2],
+		tab:        nt,
+		stride:     s.stride,
+		bigTab:     append([]*big.Rat(nil), s.bigTab...),
+		lower:      qs[0 : nl : nl+1],
+		upper:      qs[nl+1 : nl+1+nu : nl+nu+2],
+		hasLower:   bs[0 : nh : nh+1],
+		hasUpper:   bs[nh+1 : nh+1+nk : nh+nk+2],
+		beta:       qs[nl+nu+2 : nl+nu+2+nb : nl+nu+nb+3],
 		pivots:     s.pivots,
 		maxPivots:  s.maxPivots,
 	}
-	for b, row := range s.rows {
-		r := make(map[int]qnum, len(row))
-		for k, v := range row {
-			r[k] = v
-		}
-		out.rows[b] = r
-	}
-	for k, v := range s.lower {
-		out.lower[k] = v
-	}
-	for k, v := range s.upper {
-		out.upper[k] = v
-	}
-	for k, v := range s.hasLower {
-		out.hasLower[k] = v
-	}
-	for k, v := range s.hasUpper {
-		out.hasUpper[k] = v
-	}
-	for k, v := range s.beta {
-		out.beta[k] = v
-	}
-	return out
 }
 
 // fractionalStructural returns a structural variable whose current value is
 // not an integer, or -1 when the assignment is integral on structural vars.
 func (s *simplex) fractionalStructural() int {
 	for x := 0; x < s.structural; x++ {
-		if !s.val(x).qIsInt() {
+		if !s.beta[x].qIsInt() {
 			return x
 		}
 	}

@@ -261,8 +261,8 @@ func TestAgainstBruteForce(t *testing.T) {
 
 func TestSimplexDirect(t *testing.T) {
 	// x + y ≤ 2, x ≥ 2, y ≥ 1 infeasible.
-	s := newSimplex(2, 1000)
-	sl := s.addSlack(map[int]qnum{0: qOne, 1: qOne})
+	s := newSimplex(2, 1000, 4)
+	sl := s.addSlack([]sterm{{x: 0, c: qOne}, {x: 1, c: qOne}})
 	if !s.assertUpper(sl, qInt(2)) || !s.assertLower(0, qInt(2)) || !s.assertLower(1, qInt(1)) {
 		// immediate conflicts are fine too
 		return

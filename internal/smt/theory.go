@@ -2,6 +2,7 @@ package smt
 
 import (
 	"sort"
+	"strconv"
 
 	"consolidation/internal/logic"
 )
@@ -190,18 +191,42 @@ func checkTheory(lits []theoryLit, cfg theoryConfig) theoryStatus {
 	for round := 0; ; round++ {
 		// Build the arithmetic problem: structural variables are the node
 		// proxies; each distinct linear form gets one slack variable.
-		sx := newSimplex(len(in.nodes), cfg.maxPivots)
+		// Equalities derived by congruence closure this round.
+		allNodes := make([]int, len(in.nodes))
+		for i := range allNodes {
+			allNodes[i] = i
+		}
+		ccPairs := cc.congruentPairs(allNodes)
+		// Upper bound on distinct slack variables this round: getSlack
+		// dedupes identical linear forms, so the real count is usually close.
+		slackHint := len(defs) + len(constraints) + len(ccPairs) + len(diseqLins)
+		sx := newSimplex(len(in.nodes), cfg.maxPivots, slackHint)
 		slackOf := map[string]int{}
+		var keyBuf []byte
+		var comboBuf []sterm
 		getSlack := func(l lin) int {
-			k := l.key()
+			// Canonical key of the linear form: terms (already sorted by
+			// entity id), then the constant. Built from bytes — this runs
+			// once per asserted constraint per round and fmt dominates
+			// otherwise.
+			keyBuf = keyBuf[:0]
+			for _, t := range l.terms {
+				keyBuf = strconv.AppendInt(keyBuf, t.k, 10)
+				keyBuf = append(keyBuf, 'n')
+				keyBuf = strconv.AppendInt(keyBuf, int64(t.id), 10)
+				keyBuf = append(keyBuf, '+')
+			}
+			keyBuf = strconv.AppendInt(keyBuf, l.c, 10)
+			k := string(keyBuf)
 			if s, ok := slackOf[k]; ok {
 				return s
 			}
-			combo := map[int]qnum{}
-			for id, c := range l.coef {
-				combo[id] = qInt(c)
+			combo := comboBuf[:0]
+			for _, t := range l.terms {
+				combo = append(combo, sterm{x: t.id, c: qInt(t.k)})
 			}
 			s := sx.addSlack(combo)
+			comboBuf = combo[:0]
 			slackOf[k] = s
 			return s
 		}
@@ -228,12 +253,7 @@ func checkTheory(lits []theoryLit, cfg theoryConfig) theoryStatus {
 				assertLe(con.l)
 			}
 		}
-		// Equalities derived by congruence closure.
-		allNodes := make([]int, len(in.nodes))
-		for i := range allNodes {
-			allNodes[i] = i
-		}
-		for _, p := range cc.congruentPairs(allNodes) {
+		for _, p := range ccPairs {
 			assertEq0(newLin().addTerm(p[0], 1).addTerm(p[1], -1))
 		}
 		if !feasible {
@@ -274,13 +294,13 @@ func checkTheory(lits []theoryLit, cfg theoryConfig) theoryStatus {
 			}
 			probeBudget--
 			lo := sx.clone()
-			s1 := lo.addSlack(map[int]qnum{a: qOne, b: qInt(-1)})
+			s1 := lo.addSlack([]sterm{{x: a, c: qOne}, {x: b, c: qInt(-1)}})
 			okLo := lo.assertUpper(s1, qInt(-1))
 			if okLo {
 				okLo, _ = lo.check()
 			}
 			hi := sx.clone()
-			s2 := hi.addSlack(map[int]qnum{a: qOne, b: qInt(-1)})
+			s2 := hi.addSlack([]sterm{{x: a, c: qOne}, {x: b, c: qInt(-1)}})
 			okHi := hi.assertLower(s2, qInt(1))
 			if okHi {
 				okHi, _ = hi.check()

@@ -21,6 +21,11 @@ import (
 // version 0 is the variable's original (parameter or first-read) name.
 type Context struct {
 	solver *smt.Solver
+	// sctx, when set, amortizes entailment queries through a persistent
+	// incremental solving context: conjuncts are asserted once and checks
+	// select them by assertion id instead of recomposing Ψ.
+	sctx   *smt.Context
+	aidBuf []int
 	conj   []conjunct
 	// version maps a program variable to its current SSA version.
 	version map[string]int
@@ -50,10 +55,30 @@ type Context struct {
 // unrelated facts: call-to-call relevance is what the call keys are for,
 // and they respect argument compatibility.
 type conjunct struct {
-	f        logic.Formula
-	vars     map[string]bool
-	linkVars map[string]bool
-	calls    map[string]bool
+	f logic.Formula
+	// vars, linkVars and calls are stored as slices: the relevance filter
+	// only ever iterates them (membership lives in the per-query cone sets),
+	// and slice scans beat map iteration by a wide margin on these small
+	// sets. Element order is irrelevant — the filter computes set unions and
+	// existence checks, both order-independent.
+	vars     []string
+	linkVars []string
+	calls    []string
+	// aid is the fact's assertion id in the solving context (when one is
+	// attached); equal formulas share an id.
+	aid int
+}
+
+// setToSlice flattens a string set into a slice.
+func setToSlice(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
 }
 
 // callKeys collects call-instance keys of a formula.
@@ -101,9 +126,10 @@ func linkableVars(f logic.Formula) map[string]bool {
 	return out
 }
 
-// keysLink reports whether two call-key sets contain a unifiable pair.
-func keysLink(a, b map[string]bool) bool {
-	for ka := range a {
+// keysLink reports whether the conjunct's call keys contain a pair
+// unifiable with the goal's.
+func keysLink(a []string, b map[string]bool) bool {
+	for _, ka := range a {
 		for kb := range b {
 			if logic.KeysUnify(ka, kb) {
 				return true
@@ -139,10 +165,25 @@ func NewContext(solver *smt.Solver) *Context {
 // Solver exposes the underlying solver (shared, not concurrency-safe).
 func (c *Context) Solver() *smt.Solver { return c.solver }
 
+// SolvingContext returns the attached incremental solving context (nil
+// when none), so derived contexts over the same solver can share it.
+func (c *Context) SolvingContext() *smt.Context { return c.sctx }
+
+// UseSolvingContext attaches a persistent incremental solving context;
+// conjuncts already present are registered with it. Like the solver it is
+// shared by clones and not concurrency-safe.
+func (c *Context) UseSolvingContext(sc *smt.Context) {
+	c.sctx = sc
+	for i := range c.conj {
+		c.conj[i].aid = sc.Assert(c.conj[i].f)
+	}
+}
+
 // Clone returns an independent copy sharing the solver.
 func (c *Context) Clone() *Context {
 	out := &Context{
 		solver:       c.solver,
+		sctx:         c.sctx,
 		conj:         append([]conjunct(nil), c.conj...),
 		version:      make(map[string]int, len(c.version)),
 		MaxConjuncts: c.MaxConjuncts,
@@ -252,7 +293,16 @@ func (c *Context) Assume(f logic.Formula) {
 	}
 	vars := map[string]bool{}
 	logic.CollectVars(f, vars)
-	c.conj = append(c.conj, conjunct{f: f, vars: vars, linkVars: linkableVars(f), calls: callKeys(f)})
+	cj := conjunct{
+		f:        f,
+		vars:     setToSlice(vars),
+		linkVars: setToSlice(linkableVars(f)),
+		calls:    setToSlice(callKeys(f)),
+	}
+	if c.sctx != nil {
+		cj.aid = c.sctx.Assert(f)
+	}
+	c.conj = append(c.conj, cj)
 	c.trim()
 }
 
@@ -384,10 +434,39 @@ func (c *Context) Formula() logic.Formula {
 // sound, and keeps query size proportional to the goal rather than to the
 // whole consolidation context.
 func (c *Context) Entails(goal logic.Formula) bool {
-	return c.solver.Entails(c.relevantFormula(goal), goal)
+	if c.sctx == nil {
+		return c.solver.Entails(c.relevantFormula(goal), goal)
+	}
+	// Incremental path: the check is memoized on the full assertion-id
+	// list (interning makes equal lists imply an equal Ψ), and the cone
+	// computation runs only on a memo miss.
+	aids := c.aidBuf[:0]
+	for i := range c.conj {
+		aids = append(aids, c.conj[i].aid)
+	}
+	c.aidBuf = aids
+	return c.sctx.EntailsAssuming(aids, goal, func() []int {
+		idx := c.relevantIndices(goal)
+		sel := make([]int, len(idx))
+		for i, j := range idx {
+			sel[i] = c.conj[j].aid
+		}
+		return sel
+	})
 }
 
 func (c *Context) relevantFormula(goal logic.Formula) logic.Formula {
+	idx := c.relevantIndices(goal)
+	out := make([]logic.Formula, len(idx))
+	for i, j := range idx {
+		out[i] = c.conj[j].f
+	}
+	return logic.And(out...)
+}
+
+// relevantIndices returns the cone-of-influence conjunct indices in
+// discovery order (the order relevantFormula composes them in).
+func (c *Context) relevantIndices(goal logic.Formula) []int {
 	// Cone of influence: a conjunct is relevant when one of its linkable
 	// variables is already in the cone, when the cone's linkable variables
 	// reach into it, or when a call instance unifies with one in the cone.
@@ -402,22 +481,23 @@ func (c *Context) relevantFormula(goal logic.Formula) logic.Formula {
 	}
 	calls := callKeys(goal)
 	picked := make([]bool, len(c.conj))
-	var out []logic.Formula
+	var out []int
 	for changed := true; changed; {
 		changed = false
-		for i, cj := range c.conj {
+		for i := range c.conj {
 			if picked[i] {
 				continue
 			}
+			cj := &c.conj[i]
 			hit := false
-			for v := range cj.linkVars {
+			for _, v := range cj.linkVars {
 				if allVars[v] {
 					hit = true
 					break
 				}
 			}
 			if !hit {
-				for v := range cj.vars {
+				for _, v := range cj.vars {
 					if linkVars[v] {
 						hit = true
 						break
@@ -432,11 +512,11 @@ func (c *Context) relevantFormula(goal logic.Formula) logic.Formula {
 			}
 			picked[i] = true
 			changed = true
-			out = append(out, cj.f)
-			for v := range cj.vars {
+			out = append(out, i)
+			for _, v := range cj.vars {
 				allVars[v] = true
 			}
-			for v := range cj.linkVars {
+			for _, v := range cj.linkVars {
 				linkVars[v] = true
 			}
 			// Call keys deliberately do NOT propagate: key linking is one
@@ -445,7 +525,7 @@ func (c *Context) relevantFormula(goal logic.Formula) logic.Formula {
 			// merged workload — into every query.
 		}
 	}
-	return logic.And(out...)
+	return out
 }
 
 // EntailsBool reports Ψ ⊨ e for a source boolean expression.
