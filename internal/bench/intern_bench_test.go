@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"testing"
+
+	"consolidation/internal/logic"
+	"consolidation/internal/smt"
+)
+
+// internBenchFormula builds a consolidation-shaped conjunction: versioned
+// variables constrained against library-call terms, the kind of Ψ ∧ ¬goal
+// query the pair workers issue by the thousands.
+func internBenchFormula(k int64) logic.Formula {
+	v := func(n string) logic.Term { return logic.TVar{Name: n} }
+	call := func(fn string, args ...logic.Term) logic.Term {
+		return logic.TApp{Func: fn, Args: args}
+	}
+	return logic.And(
+		logic.EqT(v("t%1"), call("tempOfMonth", v("r"), logic.Num(k%12))),
+		logic.EqT(v("u%1"), logic.TBin{Op: logic.Add, L: v("t%1"), R: logic.Num(1)}),
+		logic.Atom(logic.Le, logic.Num(k), v("t%1")),
+		logic.Atom(logic.Lt, v("u%1"), logic.Num(k+40)),
+		logic.Not(logic.Atom(logic.Eq, call("humidity", v("r")), v("u%1"))),
+	)
+}
+
+// BenchmarkIntern measures the hash-consing arena on the paths the solver
+// and contexts hit: first interning of a fresh structure, dedup re-intern
+// of an already-present one (the overwhelmingly common case under query
+// re-issue), and MkAnd composition over interned pieces.
+func BenchmarkIntern(b *testing.B) {
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in := logic.NewInterner()
+			for k := int64(0); k < 8; k++ {
+				in.InternFormula(internBenchFormula(k))
+			}
+		}
+	})
+	b.Run("dedup", func(b *testing.B) {
+		in := logic.NewInterner()
+		fs := make([]logic.Formula, 8)
+		for k := range fs {
+			fs[k] = internBenchFormula(int64(k))
+			in.InternFormula(fs[k])
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, f := range fs {
+				in.InternFormula(f)
+			}
+		}
+	})
+	b.Run("mkand", func(b *testing.B) {
+		in := logic.NewInterner()
+		ids := make([]logic.NodeID, 0, 16)
+		for k := int64(0); k < 16; k++ {
+			ids = append(ids, in.InternFormula(logic.Atom(logic.Le, logic.Num(k), logic.TVar{Name: "x"})))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			in.MkAnd(ids)
+		}
+	})
+}
+
+// BenchmarkCheckCached is the end-to-end number the tentpole moves: a
+// cache-served Solver.Check, which the text-keyed pipeline paid a full
+// String() render and FNV pass for on every call.
+func BenchmarkCheckCached(b *testing.B) {
+	s := smt.New()
+	fs := make([]logic.Formula, 8)
+	for k := range fs {
+		fs[k] = internBenchFormula(int64(k))
+		s.Check(fs[k])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Check(fs[i&7])
+	}
+}

@@ -2,6 +2,7 @@ package consolidate
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"consolidation/internal/invariant"
@@ -92,6 +93,7 @@ type Consolidator struct {
 	solver *smt.Solver
 	sctx   *smt.Context
 	simp   *Simplifier
+	feats  *featTab
 	stats  Stats
 	// fuel bounds the total work of one Pair call. Loop 3 re-inserts loops
 	// into the pending lists, so a syntactic termination argument does not
@@ -139,6 +141,7 @@ func New(opts Options) *Consolidator {
 		solver: solver,
 		sctx:   sctx,
 		simp:   NewSimplifier(opts.CostModel, opts.FuncCoster),
+		feats:  newFeatTab(),
 	}
 }
 
@@ -354,8 +357,8 @@ func (co *Consolidator) conditional(ctx *sym.Context, h lang.Cond, s1, s2 *[]lan
 		return dupCost(extra) <= co.embedBudget
 	}
 
-	if len(rest) > 0 && related(featuresOfBoolCtx(ctx, h.Test), featuresOfStmts(rest)) {
-		if related(featuresOfStmts(cont), featuresOfStmts(rest)) && withinBudget(cont) {
+	if len(rest) > 0 && related(co.feats.featuresOfBoolCtx(ctx, h.Test), co.feats.featuresOfStmts(rest)) {
+		if related(co.feats.featuresOfStmts(cont), co.feats.featuresOfStmts(rest)) && withinBudget(cont) {
 			// If 3: embed both the remainder C and the second program P in
 			// the branches; everything is consumed.
 			co.stats.If3++
@@ -515,6 +518,19 @@ func (co *Consolidator) finalizeLoop(ctx *sym.Context, w lang.While) lang.Stmt {
 	return lang.While{Test: guard, Body: lang.SeqOf(body...)}
 }
 
+// feature is an interned fragment feature for the related() heuristic. The
+// low two bits hold the kind — variable read, variable definition, or call
+// instance / bare function — and the high bits a per-Consolidator table id
+// dense in first-use order, so feature sets are small-integer maps and
+// relating two fragments compares ints, never strings.
+type feature uint32
+
+const (
+	featVar  feature = 0 // variable read; id indexes featTab.nameList
+	featDef  feature = 1 // variable definition; id indexes featTab.nameList
+	featCall feature = 2 // call instance or bare function; id indexes featTab.keys
+)
+
 // featureSet abstracts a code fragment for the related() heuristic.
 // Precision matters: a feature is a specific call instance — the function
 // name plus those arguments that are constants or parameters (variable
@@ -523,75 +539,121 @@ func (co *Consolidator) finalizeLoop(ctx *sym.Context, w lang.While) lang.Stmt {
 // arguments (loop indices) fall back to the bare function name, which is
 // what lets loop bodies relate for fusion. Call-free fragments use the
 // variables they read.
-type featureSet map[string]bool
+type featureSet map[feature]bool
 
-func callFeature(c lang.Call) string {
-	key := "call:" + c.Func + "("
+// featTab interns feature identities for one Consolidator. Variable names
+// and rendered call-instance keys get dense ids; rendering reuses one
+// scratch buffer, replacing the quadratic `key += part` string building of
+// the text-keyed implementation with a single append pass per call.
+type featTab struct {
+	names    map[string]uint32
+	nameList []string
+	keys     map[string]uint32
+	buf      []byte
+}
+
+func newFeatTab() *featTab {
+	return &featTab{names: map[string]uint32{}, keys: map[string]uint32{}}
+}
+
+func (t *featTab) nameID(name string) uint32 {
+	id, ok := t.names[name]
+	if !ok {
+		id = uint32(len(t.nameList))
+		t.names[name] = id
+		t.nameList = append(t.nameList, name)
+	}
+	return id
+}
+
+func (t *featTab) varFeat(name string) feature { return feature(t.nameID(name))<<2 | featVar }
+func (t *featTab) defFeat(name string) feature { return feature(t.nameID(name))<<2 | featDef }
+
+// keyFeat interns the call key currently rendered in t.buf.
+func (t *featTab) keyFeat() feature {
+	id, ok := t.keys[string(t.buf)]
+	if !ok {
+		id = uint32(len(t.keys))
+		t.keys[string(t.buf)] = id
+	}
+	return feature(id)<<2 | featCall
+}
+
+// callFeature renders and interns the feature of one source-level call: the
+// function plus its constant/variable arguments, or the bare function name
+// as soon as an argument is compound.
+func (t *featTab) callFeature(c lang.Call) feature {
+	t.buf = append(t.buf[:0], "call:"...)
+	t.buf = append(t.buf, c.Func...)
+	t.buf = append(t.buf, '(')
 	for i, a := range c.Args {
 		if i > 0 {
-			key += ","
+			t.buf = append(t.buf, ',')
 		}
-		switch t := a.(type) {
+		switch x := a.(type) {
 		case lang.IntConst:
-			key += t.String()
+			t.buf = strconv.AppendInt(t.buf, x.Value, 10)
 		case lang.Var:
-			key += t.Name
+			t.buf = append(t.buf, x.Name...)
 		default:
-			return "fn:" + c.Func
+			t.buf = append(t.buf[:0], "fn:"...)
+			t.buf = append(t.buf, c.Func...)
+			return t.keyFeat()
 		}
 	}
-	return key + ")"
+	t.buf = append(t.buf, ')')
+	return t.keyFeat()
 }
 
-func addIntFeatures(e lang.IntExpr, fs featureSet) {
-	switch t := e.(type) {
+func (t *featTab) addIntFeatures(e lang.IntExpr, fs featureSet) {
+	switch x := e.(type) {
 	case lang.Var:
-		fs["var:"+t.Name] = true
+		fs[t.varFeat(x.Name)] = true
 	case lang.Call:
-		fs[callFeature(t)] = true
-		for _, a := range t.Args {
-			addIntFeatures(a, fs)
+		fs[t.callFeature(x)] = true
+		for _, a := range x.Args {
+			t.addIntFeatures(a, fs)
 		}
 	case lang.BinInt:
-		addIntFeatures(t.L, fs)
-		addIntFeatures(t.R, fs)
+		t.addIntFeatures(x.L, fs)
+		t.addIntFeatures(x.R, fs)
 	}
 }
 
-func addBoolFeatures(e lang.BoolExpr, fs featureSet) {
-	switch t := e.(type) {
+func (t *featTab) addBoolFeatures(e lang.BoolExpr, fs featureSet) {
+	switch x := e.(type) {
 	case lang.Cmp:
-		addIntFeatures(t.L, fs)
-		addIntFeatures(t.R, fs)
+		t.addIntFeatures(x.L, fs)
+		t.addIntFeatures(x.R, fs)
 	case lang.Not:
-		addBoolFeatures(t.E, fs)
+		t.addBoolFeatures(x.E, fs)
 	case lang.BinBool:
-		addBoolFeatures(t.L, fs)
-		addBoolFeatures(t.R, fs)
+		t.addBoolFeatures(x.L, fs)
+		t.addBoolFeatures(x.R, fs)
 	}
 }
 
-func addStmtFeatures(s lang.Stmt, fs featureSet) {
-	switch t := s.(type) {
+func (t *featTab) addStmtFeatures(s lang.Stmt, fs featureSet) {
+	switch x := s.(type) {
 	case lang.Assign:
-		addIntFeatures(t.E, fs)
-		fs["def:"+t.Var] = true
+		t.addIntFeatures(x.E, fs)
+		fs[t.defFeat(x.Var)] = true
 	case lang.Seq:
-		addStmtFeatures(t.L, fs)
-		addStmtFeatures(t.R, fs)
+		t.addStmtFeatures(x.L, fs)
+		t.addStmtFeatures(x.R, fs)
 	case lang.Cond:
-		addBoolFeatures(t.Test, fs)
-		addStmtFeatures(t.Then, fs)
-		addStmtFeatures(t.Else, fs)
+		t.addBoolFeatures(x.Test, fs)
+		t.addStmtFeatures(x.Then, fs)
+		t.addStmtFeatures(x.Else, fs)
 	case lang.While:
-		addBoolFeatures(t.Test, fs)
-		addStmtFeatures(t.Body, fs)
+		t.addBoolFeatures(x.Test, fs)
+		t.addStmtFeatures(x.Body, fs)
 	}
 }
 
-func featuresOfBool(e lang.BoolExpr) featureSet {
+func (t *featTab) featuresOfBool(e lang.BoolExpr) featureSet {
 	fs := featureSet{}
-	addBoolFeatures(e, fs)
+	t.addBoolFeatures(e, fs)
 	return fs
 }
 
@@ -599,14 +661,19 @@ func featuresOfBool(e lang.BoolExpr) featureSet {
 // definitions of the variables it reads: a test over `name` where
 // name := airlineName(fi) carries the airlineName(fi) call feature, so it
 // relates to another program computing the same call (the paper's
-// Example 1).
-func featuresOfBoolCtx(ctx *sym.Context, e lang.BoolExpr) featureSet {
-	fs := featuresOfBool(e)
+// Example 1). The variable reads are snapshotted before expanding: term
+// features are only ever calls, so expansion cannot cascade.
+func (t *featTab) featuresOfBoolCtx(ctx *sym.Context, e lang.BoolExpr) featureSet {
+	fs := t.featuresOfBool(e)
+	var vars []string
 	for k := range fs {
-		if len(k) > 4 && k[:4] == "var:" {
-			if def, ok := ctx.CurDef(k[4:]); ok {
-				addTermFeatures(def, fs)
-			}
+		if k&3 == featVar {
+			vars = append(vars, t.nameList[k>>2])
+		}
+	}
+	for _, v := range vars {
+		if def, ok := ctx.CurDef(v); ok {
+			t.addTermFeatures(def, fs)
 		}
 	}
 	return fs
@@ -615,35 +682,39 @@ func featuresOfBoolCtx(ctx *sym.Context, e lang.BoolExpr) featureSet {
 // addTermFeatures derives call features from a logic term (a recorded
 // definition right-hand side); SSA version suffixes are stripped so the
 // features align with source-level ones.
-func addTermFeatures(t logic.Term, fs featureSet) {
-	switch x := t.(type) {
+func (t *featTab) addTermFeatures(tm logic.Term, fs featureSet) {
+	switch x := tm.(type) {
 	case logic.TApp:
-		key := "call:" + x.Func + "("
+		t.buf = append(t.buf[:0], "call:"...)
+		t.buf = append(t.buf, x.Func...)
+		t.buf = append(t.buf, '(')
 		ok := true
 		for i, a := range x.Args {
 			if i > 0 {
-				key += ","
+				t.buf = append(t.buf, ',')
 			}
 			switch y := a.(type) {
 			case logic.TConst:
-				key += y.String()
+				t.buf = strconv.AppendInt(t.buf, y.Value, 10)
 			case logic.TVar:
-				key += stripVersion(y.Name)
+				t.buf = append(t.buf, stripVersion(y.Name)...)
 			default:
 				ok = false
 			}
 		}
 		if ok {
-			fs[key+")"] = true
+			t.buf = append(t.buf, ')')
 		} else {
-			fs["fn:"+x.Func] = true
+			t.buf = append(t.buf[:0], "fn:"...)
+			t.buf = append(t.buf, x.Func...)
 		}
+		fs[t.keyFeat()] = true
 		for _, a := range x.Args {
-			addTermFeatures(a, fs)
+			t.addTermFeatures(a, fs)
 		}
 	case logic.TBin:
-		addTermFeatures(x.L, fs)
-		addTermFeatures(x.R, fs)
+		t.addTermFeatures(x.L, fs)
+		t.addTermFeatures(x.R, fs)
 	}
 }
 
@@ -656,10 +727,10 @@ func stripVersion(name string) string {
 	return name
 }
 
-func featuresOfStmts(ss []lang.Stmt) featureSet {
+func (t *featTab) featuresOfStmts(ss []lang.Stmt) featureSet {
 	fs := featureSet{}
 	for _, s := range ss {
-		addStmtFeatures(s, fs)
+		t.addStmtFeatures(s, fs)
 	}
 	return fs
 }
@@ -674,10 +745,9 @@ func related(a, b featureSet) bool {
 		if b[k] {
 			return true
 		}
-		if len(k) > 4 && k[:4] == "var:" && b["def:"+k[4:]] {
-			return true
-		}
-		if len(k) > 4 && k[:4] == "def:" && b["var:"+k[4:]] {
+		// var:X in one and def:X in the other: the kinds differ only in
+		// the low bit over the same name id.
+		if k&2 == 0 && b[k^1] {
 			return true
 		}
 	}

@@ -1,0 +1,164 @@
+package consolidate
+
+import (
+	"testing"
+
+	"consolidation/internal/lang"
+)
+
+// benchStmts builds a fragment shaped like the If-rule probes that hit the
+// related() heuristic: assignments whose right-hand sides call library
+// functions with constant and variable arguments.
+func benchStmts() []lang.Stmt {
+	var ss []lang.Stmt
+	for i := 0; i < 16; i++ {
+		c := int64(i % 5)
+		ss = append(ss,
+			lang.Assign{Var: "t", E: lang.Call{Func: "tempOfMonth", Args: []lang.IntExpr{
+				lang.Var{Name: "r"}, lang.IntConst{Value: c},
+			}}},
+			lang.Cond{
+				Test: lang.Cmp{Op: lang.Lt, L: lang.Var{Name: "t"}, R: lang.IntConst{Value: 30}},
+				Then: lang.Assign{Var: "u", E: lang.BinInt{Op: lang.Add, L: lang.Var{Name: "t"}, R: lang.IntConst{Value: 1}}},
+				Else: lang.Skip{},
+			},
+		)
+	}
+	return ss
+}
+
+// legacyCallFeature is the pre-interning key builder, kept here verbatim as
+// the benchmark baseline: per-argument `key += part` string concatenation,
+// quadratic in the rendered key length.
+func legacyCallFeature(c lang.Call) string {
+	key := "call:" + c.Func + "("
+	for i, a := range c.Args {
+		if i > 0 {
+			key += ","
+		}
+		switch t := a.(type) {
+		case lang.IntConst:
+			key += t.String()
+		case lang.Var:
+			key += t.Name
+		default:
+			return "fn:" + c.Func
+		}
+	}
+	return key + ")"
+}
+
+func legacyAddStmtFeatures(s lang.Stmt, fs map[string]bool) {
+	var addInt func(lang.IntExpr)
+	addInt = func(e lang.IntExpr) {
+		switch t := e.(type) {
+		case lang.Var:
+			fs["var:"+t.Name] = true
+		case lang.Call:
+			fs[legacyCallFeature(t)] = true
+			for _, a := range t.Args {
+				addInt(a)
+			}
+		case lang.BinInt:
+			addInt(t.L)
+			addInt(t.R)
+		}
+	}
+	var addBool func(lang.BoolExpr)
+	addBool = func(e lang.BoolExpr) {
+		switch t := e.(type) {
+		case lang.Cmp:
+			addInt(t.L)
+			addInt(t.R)
+		case lang.Not:
+			addBool(t.E)
+		case lang.BinBool:
+			addBool(t.L)
+			addBool(t.R)
+		}
+	}
+	switch t := s.(type) {
+	case lang.Assign:
+		addInt(t.E)
+		fs["def:"+t.Var] = true
+	case lang.Seq:
+		legacyAddStmtFeatures(t.L, fs)
+		legacyAddStmtFeatures(t.R, fs)
+	case lang.Cond:
+		addBool(t.Test)
+		legacyAddStmtFeatures(t.Then, fs)
+		legacyAddStmtFeatures(t.Else, fs)
+	case lang.While:
+		addBool(t.Test)
+		legacyAddStmtFeatures(t.Body, fs)
+	}
+}
+
+// BenchmarkFeatureKeys compares the text-keyed feature extraction the
+// related() heuristic used before interning against the featTab path that
+// replaced it.
+func BenchmarkFeatureKeys(b *testing.B) {
+	ss := benchStmts()
+	b.Run("text", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fs := map[string]bool{}
+			for _, s := range ss {
+				legacyAddStmtFeatures(s, fs)
+			}
+			if len(fs) == 0 {
+				b.Fatal("no features")
+			}
+		}
+	})
+	b.Run("interned", func(b *testing.B) {
+		t := newFeatTab()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fs := t.featuresOfStmts(ss)
+			if len(fs) == 0 {
+				b.Fatal("no features")
+			}
+		}
+	})
+}
+
+// TestFeatureKeysMatchLegacy cross-checks the interned extraction against
+// the legacy text keys on the benchmark fragment: same feature count, and
+// related() agrees with the text implementation on every sub-span pair.
+func TestFeatureKeysMatchLegacy(t *testing.T) {
+	ss := benchStmts()
+	tab := newFeatTab()
+	for lo := 0; lo < len(ss); lo += 4 {
+		a, b := ss[lo:lo+2], ss[lo+2:lo+4]
+		textA, textB := map[string]bool{}, map[string]bool{}
+		for _, s := range a {
+			legacyAddStmtFeatures(s, textA)
+		}
+		for _, s := range b {
+			legacyAddStmtFeatures(s, textB)
+		}
+		legacyRelated := func(x, y map[string]bool) bool {
+			for k := range x {
+				if y[k] {
+					return true
+				}
+				if len(k) > 4 && k[:4] == "var:" && y["def:"+k[4:]] {
+					return true
+				}
+				if len(k) > 4 && k[:4] == "def:" && y["var:"+k[4:]] {
+					return true
+				}
+			}
+			return false
+		}
+		fa, fb := tab.featuresOfStmts(a), tab.featuresOfStmts(b)
+		if len(fa) != len(textA) || len(fb) != len(textB) {
+			t.Fatalf("feature counts diverge: %d/%d vs %d/%d", len(fa), len(textA), len(fb), len(textB))
+		}
+		if got, want := related(fa, fb), legacyRelated(textA, textB); got != want {
+			t.Fatalf("related() diverges from text implementation at span %d: %v vs %v", lo, got, want)
+		}
+	}
+}

@@ -94,8 +94,11 @@ func (s *Simplifier) simplifyInt(ctx *sym.Context, e lang.IntExpr) lang.IntExpr 
 // offset against variables whose definitions mention the same function).
 func (s *Simplifier) replaceCall(ctx *sym.Context, call lang.Call) (lang.IntExpr, bool) {
 	g := ctx.TranslateInt(call)
-	// Fast path: static memoization via the definition index.
-	if v, ok := ctx.LookupDef(g); ok {
+	in := ctx.Interner()
+	gid := in.InternTerm(g)
+	// Fast path: static memoization via the definition index, keyed by the
+	// interned node rather than rendered term text.
+	if v, ok := ctx.LookupDefID(gid); ok {
 		return lang.Var{Name: v}, true
 	}
 	// Slow path: SMT probes against definitions that called the same
@@ -103,15 +106,14 @@ func (s *Simplifier) replaceCall(ctx *sym.Context, call lang.Call) (lang.IntExpr
 	// unify with this call (different constant arguments) are skipped —
 	// equality is impossible there, and the filter keeps probing linear in
 	// practice.
-	gApp, _ := g.(logic.TApp)
-	gKey := logic.CallInstanceKey(gApp)
+	gKey, _ := in.AppCallKey(gid)
 	defs := ctx.DefsByFunc(call.Func)
 	probes := 0
 	for i := len(defs) - 1; i >= 0 && probes < s.MaxProbes; i-- {
 		d := defs[i]
 		unifies := false
-		for k := range d.Keys {
-			if logic.KeysUnify(k, gKey) {
+		for _, k := range d.Keys {
+			if in.KeysUnify(k, gKey) {
 				unifies = true
 				break
 			}

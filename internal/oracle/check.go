@@ -34,6 +34,11 @@ const (
 	// the stateless pipeline (or went unsound) — cold, memoized, after
 	// retraction, or under a starved budget.
 	CheckCtxAgree = "context-agreement"
+	// CheckIntern: the hash-consing arena broke one of its contracts —
+	// structural equality ⟺ same NodeID, IDs deterministic across runs,
+	// hashes interner-independent, or a round-trip through FormulaOf
+	// changed the formula.
+	CheckIntern = "interner"
 	// CheckErr marks infrastructure failures (consolidation or
 	// interpretation errored, registry rejected a program) — not a
 	// property violation, but still a bug in generator or system.
@@ -264,6 +269,65 @@ func CheckSMT(seed int64) *Failure {
 	}
 	if sharedGot := smt.NewWithCache(cache).Check(f); sharedGot != got {
 		return fail("shared-cache verdict %v differs from fresh verdict %v (cache poisoning)", sharedGot, got)
+	}
+	return nil
+}
+
+// CheckInterner generates random formulas from the seed and holds the
+// hash-consing arena to its contracts: interning is deterministic (two
+// fresh arenas fed the same sequence assign identical NodeIDs and hashes),
+// hashes are interner-independent (a third arena interning in reverse
+// order computes the same hashes), structural equality coincides with ID
+// equality, and FormulaOf round-trips. Every downstream key — the shared
+// solver cache, the sym definition index, the registry merge-node cache —
+// rests on these properties.
+func CheckInterner(seed int64) *Failure {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := smt.DefaultFormulaGenConfig()
+	switch seed % 3 {
+	case 1:
+		cfg.UFBias = true
+	case 2:
+		cfg.LIABias = true
+	}
+	fs := make([]logic.Formula, 6)
+	for i := range fs {
+		fs[i] = smt.RandomFormula(rng, cfg)
+	}
+	fail := func(i int, format string, args ...any) *Failure {
+		return &Failure{Check: CheckIntern, Seed: seed, Formula: fs[i].String(), Msg: fmt.Sprintf(format, args...)}
+	}
+
+	a, b := logic.NewInterner(), logic.NewInterner()
+	rev := logic.NewInterner()
+	for i := len(fs) - 1; i >= 0; i-- {
+		rev.InternFormula(fs[i])
+	}
+	ids := make([]logic.NodeID, len(fs))
+	for i, f := range fs {
+		ids[i] = a.InternFormula(f)
+		if bid := b.InternFormula(f); bid != ids[i] {
+			return fail(i, "same construction sequence, different NodeIDs: %d vs %d", ids[i], bid)
+		}
+		if ha, hb := a.Hash(ids[i]), b.Hash(b.InternFormula(f)); ha != hb {
+			return fail(i, "same formula, different hashes across arenas: %#x vs %#x", ha, hb)
+		}
+		if hr := rev.Hash(rev.InternFormula(f)); hr != a.Hash(ids[i]) {
+			return fail(i, "hash depends on interning order: %#x vs %#x", a.Hash(ids[i]), hr)
+		}
+		if got := a.FormulaOf(ids[i]); !logic.Equal(got, f) {
+			return fail(i, "FormulaOf round-trip changed the formula: %s", got)
+		}
+		if again := a.InternFormula(f); again != ids[i] {
+			return fail(i, "re-interning moved the node: %d then %d", ids[i], again)
+		}
+	}
+	for i := range fs {
+		for j := range fs {
+			if eq, same := logic.Equal(fs[i], fs[j]), ids[i] == ids[j]; eq != same {
+				return fail(i, "structural equality (%v) disagrees with ID equality (%v) against %s", eq, same, fs[j])
+			}
+		}
 	}
 	return nil
 }

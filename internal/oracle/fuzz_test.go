@@ -20,3 +20,18 @@ func FuzzConsolidateEquivalence(f *testing.F) {
 		}
 	})
 }
+
+// FuzzInternerDeterminism fuzzes the hash-consing arena's contracts —
+// deterministic NodeIDs, interner-independent hashes, structural equality
+// ⟺ ID equality — over random QF_UFLIA formulas derived from the seed.
+// The cache, definition-index and merge-node keys all rest on them.
+func FuzzInternerDeterminism(f *testing.F) {
+	for _, seed := range corpusSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if fail := CheckInterner(seed); fail != nil {
+			t.Fatal(fail)
+		}
+	})
+}

@@ -133,6 +133,9 @@ func TestOracleCorpus(t *testing.T) {
 		if f := CheckSMTContext(seed); f != nil {
 			t.Fatal(f)
 		}
+		if f := CheckInterner(seed); f != nil {
+			t.Fatal(f)
+		}
 	}
 }
 

@@ -32,8 +32,6 @@ package registry
 import (
 	"fmt"
 	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -204,8 +202,12 @@ type Registry struct {
 	// additionally guards them with its own mutex during a build's
 	// parallel fan-out).
 	buildMu sync.Mutex
-	nodes   map[string]*lang.Program
-	prep    map[QueryID]preparedLeaf
+	nodes   map[nodeKey]*lang.Program
+	// seqs interns the query-id sequences that key merge nodes; it persists
+	// across builds so an unchanged span keeps its key (and its cache hit)
+	// from one build to the next.
+	seqs *seqTable
+	prep map[QueryID]preparedLeaf
 	// sctxs holds one persistent solving context per merge-tree span.
 	// Distinct spans re-merge in distinct goroutines, but a span is only
 	// ever touched by its own pair worker within a build, and buildMu
@@ -240,7 +242,8 @@ func New(opts Options) (*Registry, error) {
 		cache:  opts.Consolidate.Cache,
 		slotOf: map[QueryID]int{},
 		nextID: 1,
-		nodes:  map[string]*lang.Program{},
+		nodes:  map[nodeKey]*lang.Program{},
+		seqs:   newSeqTable(),
 		prep:   map[QueryID]preparedLeaf{},
 		sctxs:  map[span]*smt.Context{},
 		kick:   make(chan struct{}, 1),
@@ -490,7 +493,7 @@ func (r *Registry) Rebuild() (*Snapshot, error) {
 	bs := BuildStats{Leaves: len(ents)}
 	if len(ents) == 0 {
 		// Registry drained: the caches hold nothing reusable.
-		r.nodes = map[string]*lang.Program{}
+		r.nodes = map[nodeKey]*lang.Program{}
 		r.prep = map[QueryID]preparedLeaf{}
 		r.sctxs = map[span]*smt.Context{}
 	} else {
@@ -595,15 +598,71 @@ func (r *Registry) Flush() (*Snapshot, error) {
 // ids under the node — so any node whose leaves did not move is reused
 // and only changed root paths are re-merged.
 type builder struct {
-	ents   []entry
-	idents []string
-	reg    *Registry
-	opts   consolidate.Options
-	stats  BuildStats
-	mu     sync.Mutex
-	sem    chan struct{}
-	failed atomic.Bool
-	firstE error
+	ents  []entry
+	reg   *Registry
+	opts  consolidate.Options
+	stats BuildStats
+	// spanKeys maps every interior node span of this build's tree to its
+	// content key. It is filled single-threaded in newBuilder and read-only
+	// during the parallel fan-out, so the shared seqTable needs no lock on
+	// the hot path.
+	spanKeys map[span]nodeKey
+	mu       sync.Mutex
+	sem      chan struct{}
+	failed   atomic.Bool
+	firstE   error
+}
+
+// nodeKey identifies a merge node by its slot offset and the interned
+// sequence of query ids under it — the same content the old text key
+// rendered as "lo|id,id,...", without allocating a string per node per
+// build. Injective while the seqTable generation lives: hash-consing gives
+// each distinct id sequence exactly one seq.
+type nodeKey struct {
+	lo  int32
+	seq int32
+}
+
+// seqTable hash-conses sequences of query ids as cons lists: a sequence is
+// the id of the pair (head, rest). Shared suffixes share cells, and an
+// unchanged span re-interns to the same seq in O(length) map hits.
+type seqTable struct {
+	pairs map[seqPair]int32
+	n     int32
+}
+
+type seqPair struct {
+	head QueryID
+	tail int32
+}
+
+// seqTableCap bounds table growth across builds; past it the table and the
+// merge-node cache keyed by its ids are dropped together (the next build
+// repopulates both from scratch, which is always sound).
+const seqTableCap = 1 << 20
+
+func newSeqTable() *seqTable {
+	return &seqTable{pairs: map[seqPair]int32{}}
+}
+
+func (t *seqTable) cons(head QueryID, tail int32) int32 {
+	p := seqPair{head: head, tail: tail}
+	if id, ok := t.pairs[p]; ok {
+		return id
+	}
+	t.n++
+	t.pairs[p] = t.n
+	return t.n
+}
+
+// seqOf interns the id sequence of ents, consing right to left so that
+// spans sharing a tail share cells. The empty sequence is -1.
+func (t *seqTable) seqOf(ents []entry) int32 {
+	seq := int32(-1)
+	for i := len(ents) - 1; i >= 0; i-- {
+		seq = t.cons(ents[i].id, seq)
+	}
+	return seq
 }
 
 func (r *Registry) newBuilder(ents []entry) *builder {
@@ -612,18 +671,41 @@ func (r *Registry) newBuilder(ents []entry) *builder {
 	// or intermediate DCE would destroy the sharing later partners memoize
 	// against.
 	opts.NoDCE = true
+	if len(r.seqs.pairs) > seqTableCap {
+		r.seqs = newSeqTable()
+		r.nodes = map[nodeKey]*lang.Program{}
+	}
 	b := &builder{
-		ents:   ents,
-		idents: make([]string, len(ents)),
-		reg:    r,
-		opts:   opts,
-		sem:    make(chan struct{}, r.opts.Workers),
+		ents:     ents,
+		reg:      r,
+		opts:     opts,
+		spanKeys: map[span]nodeKey{},
+		sem:      make(chan struct{}, r.opts.Workers),
 	}
 	b.stats.Leaves = len(ents)
-	for i, e := range ents {
-		b.idents[i] = strconv.FormatUint(uint64(e.id), 10)
+	size := 1
+	for size < len(ents) {
+		size *= 2
 	}
+	b.collectSpanKeys(0, len(ents), size)
 	return b
+}
+
+// collectSpanKeys walks the tree shape and interns the key of every
+// interior node, mirroring the recursion of build and collectKeys.
+func (b *builder) collectSpanKeys(lo, hi, size int) {
+	if hi-lo <= 1 {
+		return
+	}
+	half := size / 2
+	mid := lo + half
+	if mid >= hi {
+		b.collectSpanKeys(lo, hi, half)
+		return
+	}
+	b.spanKeys[span{lo, hi}] = nodeKey{lo: int32(lo), seq: b.reg.seqs.seqOf(b.ents[lo:hi])}
+	b.collectSpanKeys(lo, mid, half)
+	b.collectSpanKeys(mid, hi, half)
 }
 
 func (b *builder) run() (*lang.Program, error) {
@@ -636,13 +718,6 @@ func (b *builder) run() (*lang.Program, error) {
 		return nil, b.firstE
 	}
 	return root, nil
-}
-
-// key identifies a node by its slot offset and the ids of the leaves it
-// covers; a node whose leaves (and their slots) are unchanged since the
-// last build hits the cache under the same key.
-func (b *builder) key(lo, hi int) string {
-	return strconv.Itoa(lo) + "|" + strings.Join(b.idents[lo:hi], ",")
 }
 
 func (b *builder) build(lo, hi, size int) *lang.Program {
@@ -658,7 +733,7 @@ func (b *builder) build(lo, hi, size int) *lang.Program {
 		// Odd leftover: the node is its left child, carried up unchanged.
 		return b.build(lo, hi, half)
 	}
-	k := b.key(lo, hi)
+	k := b.spanKeys[span{lo, hi}]
 	b.mu.Lock()
 	if p, ok := b.reg.nodes[k]; ok {
 		// A hit subsumes the whole subtree: its descendants stay cached
@@ -747,7 +822,7 @@ func (b *builder) fail(err error) {
 // inside that subtree — so reachability is computed by walking the tree
 // shape, not by recording which nodes the build visited.
 func (b *builder) prune() {
-	keep := make(map[string]bool, len(b.ents))
+	keep := make(map[nodeKey]bool, len(b.ents))
 	keepSpan := make(map[span]bool, len(b.ents))
 	size := 1
 	for size < len(b.ents) {
@@ -777,7 +852,7 @@ func (b *builder) prune() {
 
 // collectKeys records the key and span of every merge node of the current
 // tree.
-func (b *builder) collectKeys(lo, hi, size int, keep map[string]bool, keepSpan map[span]bool) {
+func (b *builder) collectKeys(lo, hi, size int, keep map[nodeKey]bool, keepSpan map[span]bool) {
 	if hi-lo <= 1 {
 		return
 	}
@@ -787,7 +862,7 @@ func (b *builder) collectKeys(lo, hi, size int, keep map[string]bool, keepSpan m
 		b.collectKeys(lo, hi, half, keep, keepSpan)
 		return
 	}
-	keep[b.key(lo, hi)] = true
+	keep[b.spanKeys[span{lo, hi}]] = true
 	keepSpan[span{lo, hi}] = true
 	b.collectKeys(lo, mid, half, keep, keepSpan)
 	b.collectKeys(mid, hi, half, keep, keepSpan)

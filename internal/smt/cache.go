@@ -3,15 +3,29 @@ package smt
 import (
 	"sync"
 	"sync/atomic"
+
+	"consolidation/internal/logic"
 )
 
 // Cache is a concurrency-safe query cache shared between Solver instances.
-// Entries are keyed by formula text and striped over a fixed number of
-// shards, each guarded by its own mutex, so parallel consolidation workers
-// rarely contend on the same lock. The divide-and-conquer driver in
-// internal/consolidate injects one Cache into every pair worker: later
-// pairs and later levels re-issue many queries that earlier ones already
-// solved, and the shared cache turns those into lookups.
+// Entries are keyed by the formula's precomputed 64-bit structural hash
+// (computed once at interning time by the hash-consing arena in
+// internal/logic) and striped over a fixed number of shards, each guarded
+// by its own mutex, so parallel consolidation workers rarely contend on the
+// same lock. Structural hashes are interner-independent — two workers
+// interning the same formula into private arenas compute the same hash —
+// so verdicts flow between workers exactly as the old text keys allowed,
+// without rendering a single byte. Hash collisions are resolved by bucket
+// lists verified against a canonical byte encoding of the formula
+// (logic.AppendEncoding), so a collision can cost a comparison but never
+// a wrong verdict. Entries keep only that flat encoding — not the
+// formula tree — so a full cache is nearly free for the garbage
+// collector to trace.
+//
+// The divide-and-conquer driver in internal/consolidate injects one Cache
+// into every pair worker: later pairs and later levels re-issue many
+// queries that earlier ones already solved, and the shared cache turns
+// those into lookups.
 //
 // Decided verdicts (Sat/Unsat) are cached unconditionally — they are true
 // forever. Unknown verdicts are budget-capped artefacts, not facts about
@@ -41,9 +55,18 @@ type Cache struct {
 const cacheShards = 64
 
 type cacheShard struct {
-	mu    sync.Mutex
-	m     map[string]cacheEntry
-	order []string // insertion order, for FIFO eviction
+	mu sync.Mutex
+	// m buckets entries by structural hash; each bucket holds the formulas
+	// (almost always exactly one) sharing that hash, oldest first.
+	m     map[uint64][]hashEntry
+	order []uint64 // insertion order of entry hashes, for FIFO eviction
+}
+
+// hashEntry is one cached verdict together with the canonical encoding
+// of the formula that keys it, kept for collision verification.
+type hashEntry struct {
+	enc []byte
+	e   cacheEntry
 }
 
 // cacheEntry records a verdict; for Unknown it also records the budget
@@ -89,20 +112,18 @@ func NewCache(maxEntries int) *Cache {
 		}
 	}
 	for i := range c.shards {
-		c.shards[i].m = map[string]cacheEntry{}
+		c.shards[i].m = map[uint64][]hashEntry{}
 	}
 	return c
 }
 
-// shardOf stripes a key by FNV-1a hash. FNV is deterministic across
-// processes, which keeps shard assignment (and therefore eviction
-// behaviour) reproducible run to run.
-func shardOf(key string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h = (h ^ uint32(key[i])) * 16777619
-	}
-	return h & (cacheShards - 1)
+// shardOf stripes by the structural hash. The hash is already well mixed
+// (splitmix finalizer), so masking low bits is uniform, and it is
+// deterministic across processes, which keeps shard assignment (and
+// therefore eviction behaviour) reproducible run to run. O(1): no bytes
+// are hashed per call.
+func shardOf(h uint64) uint32 {
+	return uint32(h) & (cacheShards - 1)
 }
 
 // lock acquires the shard mutex, counting contention.
@@ -114,14 +135,31 @@ func (c *Cache) lock(sh *cacheShard) {
 	sh.mu.Lock()
 }
 
-// Get looks up a verdict for key under the given solver budget. Decided
-// entries always hit; an Unknown entry hits only when the query's budget
-// is no larger than the budget that produced it.
-func (c *Cache) Get(key string, conflicts, lazyIters int) (Result, bool) {
+// find locates the node's entry in a bucket; callers hold the shard lock.
+func bucketFind(bucket []hashEntry, in *logic.Interner, id logic.NodeID) int {
+	for i := range bucket {
+		if in.EncodingMatches(id, bucket[i].enc) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get looks up a verdict for the interned formula id (whose precomputed
+// structural hash is h) under the given solver budget. Decided entries
+// always hit; an Unknown entry hits only when the query's budget is no
+// larger than the budget that produced it. Get allocates nothing.
+func (c *Cache) Get(h uint64, in *logic.Interner, id logic.NodeID, conflicts, lazyIters int) (Result, bool) {
 	c.lookups.Add(1)
-	sh := &c.shards[shardOf(key)]
+	sh := &c.shards[shardOf(h)]
 	c.lock(sh)
-	e, ok := sh.m[key]
+	var e cacheEntry
+	ok := false
+	if bucket := sh.m[h]; bucket != nil {
+		if i := bucketFind(bucket, in, id); i >= 0 {
+			e, ok = bucket[i].e, true
+		}
+	}
 	sh.mu.Unlock()
 	if !ok {
 		return Unknown, false
@@ -140,39 +178,48 @@ func (c *Cache) Get(key string, conflicts, lazyIters int) (Result, bool) {
 // Unknown. An Unknown is stored together with its budget — it can answer
 // only queries with no more budget than that — and never overwrites a
 // decided entry.
-func (c *Cache) Put(key string, r Result, conflicts, lazyIters int) bool {
-	sh := &c.shards[shardOf(key)]
+func (c *Cache) Put(h uint64, in *logic.Interner, id logic.NodeID, r Result, conflicts, lazyIters int) bool {
+	sh := &c.shards[shardOf(h)]
 	c.lock(sh)
 	defer sh.mu.Unlock()
-	old, exists := sh.m[key]
+	bucket := sh.m[h]
+	idx := bucketFind(bucket, in, id)
 	e := cacheEntry{result: r}
 	if r == Unknown {
-		if exists && old.result != Unknown {
+		if idx >= 0 && bucket[idx].e.result != Unknown {
 			// A budget-capped Unknown must never shadow a decided verdict.
 			return false
 		}
 		e.conflicts, e.lazyIters = conflicts, lazyIters
-		if exists {
+		if idx >= 0 {
 			// Keep the largest budget seen so equally-budgeted re-queries
 			// keep hitting after a racing lower-budget store.
-			if old.conflicts > e.conflicts {
+			if old := bucket[idx].e; old.conflicts > e.conflicts {
 				e.conflicts = old.conflicts
 			}
-			if old.lazyIters > e.lazyIters {
+			if old := bucket[idx].e; old.lazyIters > e.lazyIters {
 				e.lazyIters = old.lazyIters
 			}
 		}
 	}
-	if !exists {
+	if idx < 0 {
 		if c.maxPerShard > 0 && len(sh.order) >= c.maxPerShard {
 			victim := sh.order[0]
 			sh.order = sh.order[1:]
-			delete(sh.m, victim)
+			vb := sh.m[victim]
+			// The oldest entry under that hash is the bucket head.
+			if len(vb) <= 1 {
+				delete(sh.m, victim)
+			} else {
+				sh.m[victim] = vb[1:]
+			}
 			c.evictions.Add(1)
 		}
-		sh.order = append(sh.order, key)
+		sh.order = append(sh.order, h)
+		sh.m[h] = append(sh.m[h], hashEntry{enc: in.AppendEncoding(nil, id), e: e})
+	} else {
+		bucket[idx].e = e
 	}
-	sh.m[key] = e
 	c.stores.Add(1)
 	return true
 }
@@ -183,7 +230,9 @@ func (c *Cache) Len() int {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		c.lock(sh)
-		n += len(sh.m)
+		for _, bucket := range sh.m {
+			n += len(bucket)
+		}
 		sh.mu.Unlock()
 	}
 	return n

@@ -1,26 +1,37 @@
 package smt
 
 import (
-	"fmt"
 	"sync"
 	"testing"
 
 	"consolidation/internal/logic"
 )
 
+// fh interns f into a fresh arena and returns the arena, the node, and
+// its structural hash — the cache key exactly as Solver.Check computes
+// it. A fresh arena per call doubles as a check that hashes (and the
+// canonical encodings the cache verifies against) are
+// interner-independent.
+func fh(f logic.Formula) (*logic.Interner, logic.NodeID, uint64) {
+	in := logic.NewInterner()
+	id := in.InternFormula(f)
+	return in, id, in.Hash(id)
+}
+
 func TestCacheBasics(t *testing.T) {
 	c := NewCache(0)
-	if _, ok := c.Get("k", 100, 100); ok {
+	in, k, h := fh(eq(x(), n(1)))
+	if _, ok := c.Get(h, in, k, 100, 100); ok {
 		t.Fatal("hit on empty cache")
 	}
-	if !c.Put("k", Unsat, 100, 100) {
+	if !c.Put(h, in, k, Unsat, 100, 100) {
 		t.Fatal("decided verdict refused")
 	}
-	if r, ok := c.Get("k", 100, 100); !ok || r != Unsat {
+	if r, ok := c.Get(h, in, k, 100, 100); !ok || r != Unsat {
 		t.Fatalf("Get = %v,%v want Unsat,true", r, ok)
 	}
 	// Decided entries hit regardless of the querying budget.
-	if r, ok := c.Get("k", 1000000, 1000000); !ok || r != Unsat {
+	if r, ok := c.Get(h, in, k, 1000000, 1000000); !ok || r != Unsat {
 		t.Fatalf("decided entry missed under larger budget: %v,%v", r, ok)
 	}
 	st := c.Stats()
@@ -34,36 +45,56 @@ func TestCacheBasics(t *testing.T) {
 
 func TestCacheUnknownIsBudgetKeyed(t *testing.T) {
 	c := NewCache(0)
-	if !c.Put("k", Unknown, 10, 10) {
+	in, k, h := fh(lt(x(), y()))
+	if !c.Put(h, in, k, Unknown, 10, 10) {
 		t.Fatal("budget-tagged Unknown refused")
 	}
 	// Same or smaller budget cannot do better: hit.
-	if r, ok := c.Get("k", 10, 10); !ok || r != Unknown {
+	if r, ok := c.Get(h, in, k, 10, 10); !ok || r != Unknown {
 		t.Fatalf("equal-budget Unknown missed: %v,%v", r, ok)
 	}
-	if r, ok := c.Get("k", 5, 10); !ok || r != Unknown {
+	if r, ok := c.Get(h, in, k, 5, 10); !ok || r != Unknown {
 		t.Fatalf("smaller-budget Unknown missed: %v,%v", r, ok)
 	}
 	// A larger budget must re-solve.
-	if _, ok := c.Get("k", 11, 10); ok {
+	if _, ok := c.Get(h, in, k, 11, 10); ok {
 		t.Fatal("stale Unknown served to a larger conflict budget")
 	}
-	if _, ok := c.Get("k", 10, 11); ok {
+	if _, ok := c.Get(h, in, k, 10, 11); ok {
 		t.Fatal("stale Unknown served to a larger lazy-iter budget")
 	}
 	// The re-solve decides; the verdict replaces the Unknown.
-	if !c.Put("k", Sat, 11, 10) {
+	if !c.Put(h, in, k, Sat, 11, 10) {
 		t.Fatal("decided verdict refused over Unknown")
 	}
-	if r, ok := c.Get("k", 1, 1); !ok || r != Sat {
+	if r, ok := c.Get(h, in, k, 1, 1); !ok || r != Sat {
 		t.Fatalf("decided verdict not served: %v,%v", r, ok)
 	}
 	// And a later, lower-budget Unknown must never shadow it back.
-	if c.Put("k", Unknown, 1, 1) {
+	if c.Put(h, in, k, Unknown, 1, 1) {
 		t.Fatal("Unknown overwrote a decided verdict")
 	}
-	if r, ok := c.Get("k", 1, 1); !ok || r != Sat {
+	if r, ok := c.Get(h, in, k, 1, 1); !ok || r != Sat {
 		t.Fatalf("decided verdict lost: %v,%v", r, ok)
+	}
+}
+
+// TestCacheHashCollision forces two distinct formulas through the same
+// bucket and checks structural verification keeps their verdicts apart.
+func TestCacheHashCollision(t *testing.T) {
+	c := NewCache(0)
+	in1, f1, h := fh(eq(x(), n(1))) // deliberately reuse f1's hash for f2
+	in2, f2, _ := fh(eq(y(), n(2)))
+	c.Put(h, in1, f1, Unsat, 0, 0)
+	c.Put(h, in2, f2, Sat, 0, 0)
+	if r, ok := c.Get(h, in1, f1, 0, 0); !ok || r != Unsat {
+		t.Fatalf("f1 under colliding hash: %v,%v want Unsat,true", r, ok)
+	}
+	if r, ok := c.Get(h, in2, f2, 0, 0); !ok || r != Sat {
+		t.Fatalf("f2 under colliding hash: %v,%v want Sat,true", r, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("bucket holds %d entries, want 2", c.Len())
 	}
 }
 
@@ -72,11 +103,14 @@ func TestCacheEviction(t *testing.T) {
 	// a second distinct key landing on an occupied shard evicts its
 	// predecessor (FIFO within the shard).
 	c := NewCache(cacheShards)
-	keys := make([]string, 0, 4*cacheShards)
+	in := logic.NewInterner()
+	keys := make([]logic.NodeID, 0, 4*cacheShards)
+	hashes := make([]uint64, 0, 4*cacheShards)
 	for i := 0; i < 4*cacheShards; i++ {
-		k := fmt.Sprintf("formula-%d", i)
+		k := in.InternFormula(eq(x(), n(int64(i))))
 		keys = append(keys, k)
-		c.Put(k, Sat, 0, 0)
+		hashes = append(hashes, in.Hash(k))
+		c.Put(hashes[i], in, k, Sat, 0, 0)
 	}
 	st := c.Stats()
 	if st.Entries > cacheShards {
@@ -90,11 +124,11 @@ func TestCacheEviction(t *testing.T) {
 	}
 	// Evicted or not, a present entry must still be correct.
 	hits := 0
-	for _, k := range keys {
-		if r, ok := c.Get(k, 0, 0); ok {
+	for i, k := range keys {
+		if r, ok := c.Get(hashes[i], in, k, 0, 0); ok {
 			hits++
 			if r != Sat {
-				t.Fatalf("entry %s corrupted: %v", k, r)
+				t.Fatalf("entry %v corrupted: %v", k, r)
 			}
 		}
 	}

@@ -9,20 +9,24 @@ import (
 
 // Context is a persistent, assumption-based solving context that amortizes
 // Ω's validity queries across a consolidation run. A Consolidator asserts
-// each context conjunct Ψᵢ once — Assert interns the formula and memoizes
-// its text, its literal compilation, and (lazily) its CNF encoding — and
-// every entailment check Ψ' ⊨ φ then selects a subset of assertion ids
-// instead of rebuilding the conjunction from scratch:
+// each context conjunct Ψᵢ once — Assert interns the formula into the
+// context's hash-consing arena and memoizes its conjunction pieces, its
+// literal compilation, and (lazily) its CNF encoding — and every
+// entailment check Ψ' ⊨ φ then selects a subset of assertion ids instead
+// of rebuilding the conjunction from scratch:
 //
 //   - A verdict memo keyed by (assertion-id list, goal id) answers repeated
-//     queries without composing the formula text at all. The consolidation
+//     queries without composing the query at all. The consolidation
 //     workloads re-prove the same entailments for every record pair, so this
 //     is the common case.
-//   - On a memo miss the composed query text is assembled by joining the
-//     memoized per-assertion strings (byte copies, not a formula walk) and
-//     the shared Cache is consulted, so verdicts still flow between parallel
-//     pair workers exactly as before. The composed text is byte-identical to
-//     what the stateless pipeline produces for the same query.
+//   - On a memo miss the composed query node is built from the memoized
+//     per-assertion piece NodeIDs (one MkAnd over interned ids, not a
+//     formula walk) and the shared Cache is consulted by the node's
+//     structural hash, so verdicts still flow between parallel pair workers
+//     exactly as before. The composed node is structurally identical to
+//     the formula the stateless pipeline builds for the same query, and
+//     structural hashes agree across arenas, so cache entries published by
+//     either side hit the other.
 //   - Literal-conjunction queries — the overwhelming majority — reuse the
 //     per-assertion theoryLit slices and run one stateless theory check,
 //     identical to the fresh solver's fast path.
@@ -56,14 +60,19 @@ type Context struct {
 	conflicts int
 	lazyIters int
 
-	byKey map[string]int
-	forms []cform
+	// in is the context's private hash-consing arena; every asserted
+	// formula, goal, and composed query lives in it as a NodeID. It resets
+	// together with the context, so NodeIDs held by forms and the encoder
+	// never dangle.
+	in     *logic.Interner
+	byNode map[logic.NodeID]int
+	forms  []cform
 
 	// memo caches verdicts by (full assertion-id list, goal id); coneMemo
 	// caches them by the cone actually sent to the solver. Ψ grows between
 	// checks, so the full list rarely repeats within a run — but the cone
-	// does, and equal cones compose byte-identical queries, so a coneMemo
-	// hit is exactly a shared-cache hit without the text composition. The
+	// does, and equal cones compose the same query node, so a coneMemo
+	// hit is exactly a shared-cache hit without the composition. The
 	// two maps are kept separate: a full-list key resolves through the cone
 	// computation, a cone key does not, so equal byte strings would not
 	// mean equal queries.
@@ -75,6 +84,7 @@ type Context struct {
 	keyBuf  []byte
 	key2Buf []byte
 	litBuf  []theoryLit
+	idsBuf  []logic.NodeID
 
 	stats ContextStats
 }
@@ -82,11 +92,13 @@ type Context struct {
 // cform is one interned formula with every compilation the Context may
 // need, computed at most once.
 type cform struct {
-	f    logic.Formula
-	text string
-	// pieces are the formula's top-level conjunction pieces as logic.And
-	// would flatten them into an enclosing conjunction; empty for ⊤.
-	pieces []string
+	f  logic.Formula
+	id logic.NodeID
+	// pieceIDs are the formula's top-level conjunction pieces (as NodeIDs)
+	// exactly as logic.And would flatten them into an enclosing
+	// conjunction; empty for ⊤. For an FAnd these alias the interned
+	// node's kid slice — no per-assert allocation.
+	pieceIDs []logic.NodeID
 	// isFalse marks ⊥ (the composed conjunction collapses).
 	isFalse bool
 	// degenerate marks shapes And() would rewrite beyond one-level
@@ -102,7 +114,7 @@ type cform struct {
 
 	// Negated-goal compilation (¬f), computed lazily on first use as goal.
 	negReady    bool
-	negPieces   []string
+	negIDs      []logic.NodeID
 	negLits     []theoryLit
 	negIsLit    bool
 	negFallback bool
@@ -195,6 +207,7 @@ func (s ContextStats) MemoHitRate() float64 {
 const (
 	maxContextForms = 1 << 13
 	maxContextMemo  = 1 << 17
+	maxContextNodes = 1 << 18
 )
 
 // NewSolvingContext returns an empty context; it becomes usable after the
@@ -207,7 +220,8 @@ func NewSolvingContext() *Context {
 }
 
 func (c *Context) reset() {
-	c.byKey = map[string]int{}
+	c.in = logic.NewInterner()
+	c.byNode = map[logic.NodeID]int{}
 	c.forms = c.forms[:0]
 	c.memo = map[string]Result{}
 	c.coneMemo = map[string]Result{}
@@ -231,7 +245,8 @@ func (c *Context) Bind(s *Solver) {
 // outstanding between Pair calls, so an oversized context may reset.
 func (c *Context) BeginRun(s *Solver) {
 	c.Bind(s)
-	if len(c.forms) > maxContextForms || len(c.memo)+len(c.coneMemo) > maxContextMemo {
+	if len(c.forms) > maxContextForms || len(c.memo)+len(c.coneMemo) > maxContextMemo ||
+		c.in.Len() > maxContextNodes {
 		c.reset()
 	}
 }
@@ -244,53 +259,54 @@ func (c *Context) Stats() ContextStats {
 }
 
 // Assert interns a context conjunct and returns its assertion id. Equal
-// formulas (by text) share an id, so re-asserting across record pairs and
-// cloned symbolic contexts costs one map lookup.
+// formulas (by interned node) share an id, so re-asserting across record
+// pairs and cloned symbolic contexts costs one intern walk (all dedup
+// hits) plus one map lookup.
 func (c *Context) Assert(f logic.Formula) int {
 	c.stats.Asserts++
-	key := f.String()
-	if id, ok := c.byKey[key]; ok {
+	nid := c.in.InternFormula(f)
+	if id, ok := c.byNode[nid]; ok {
 		c.stats.AssertHits++
 		return id
 	}
-	return c.intern(f, key)
+	return c.intern(f, nid)
 }
 
-func (c *Context) intern(f logic.Formula, text string) int {
-	cf := cform{f: f, text: text}
-	cf.pieces, cf.isFalse, cf.degenerate = flattenPieces(f, text)
+func (c *Context) intern(f logic.Formula, nid logic.NodeID) int {
+	cf := cform{f: f, id: nid}
+	cf.pieceIDs, cf.isFalse, cf.degenerate = c.splitPieces(nid)
 	if !cf.degenerate && !cf.isFalse {
-		cf.lits, cf.isLit = literalConjunction(logic.NNF(f))
+		cf.lits, cf.isLit = literalConjunction(c.in, logic.NNF(f))
 	}
 	id := len(c.forms)
 	c.forms = append(c.forms, cf)
-	c.byKey[text] = id
+	c.byNode[nid] = id
 	return id
 }
 
-// flattenPieces returns the text pieces f contributes to an enclosing
-// logic.And: an FAnd contributes its children (one-level flattening), ⊤
-// contributes nothing, ⊥ collapses the conjunction. Shapes And() would
-// rewrite further (nested FAnd or boolean constants inside a conjunction)
-// are flagged degenerate; they never arise from the smart constructors.
-func flattenPieces(f logic.Formula, text string) (pieces []string, isFalse, degenerate bool) {
-	switch x := f.(type) {
-	case logic.FTrue:
+// splitPieces returns the piece NodeIDs an interned formula contributes to
+// an enclosing logic.And: a conjunction contributes its children
+// (one-level flattening, aliasing the node's kid slice), ⊤ contributes
+// nothing, ⊥ collapses the conjunction. Shapes And() would rewrite further
+// (nested FAnd or boolean constants inside a conjunction) are flagged
+// degenerate; they never arise from the smart constructors.
+func (c *Context) splitPieces(id logic.NodeID) (pieces []logic.NodeID, isFalse, degenerate bool) {
+	switch c.in.Kind(id) {
+	case logic.KTrue:
 		return nil, false, false
-	case logic.FFalse:
+	case logic.KFalse:
 		return nil, true, false
-	case logic.FAnd:
-		ps := make([]string, len(x.Fs))
-		for i, g := range x.Fs {
-			switch g.(type) {
-			case logic.FTrue, logic.FFalse, logic.FAnd:
+	case logic.KAnd:
+		kids := c.in.Kids(id)
+		for _, k := range kids {
+			switch c.in.Kind(k) {
+			case logic.KTrue, logic.KFalse, logic.KAnd:
 				return nil, false, true
 			}
-			ps[i] = g.String()
 		}
-		return ps, false, false
+		return kids, false, false
 	default:
-		return []string{text}, false, false
+		return []logic.NodeID{id}, false, false
 	}
 }
 
@@ -302,15 +318,16 @@ func (c *Context) ensureNeg(id int) {
 	}
 	cf.negReady = true
 	ng := logic.Not(cf.f)
+	ngID := c.in.InternFormula(ng)
 	var isFalse bool
-	cf.negPieces, isFalse, cf.negFallback = flattenPieces(ng, ng.String())
+	cf.negIDs, isFalse, cf.negFallback = c.splitPieces(ngID)
 	if isFalse {
 		// ¬goal ≡ ⊥, i.e. the goal is ⊤: the composed query collapses;
 		// let the stateless pipeline handle the degenerate shape.
 		cf.negFallback = true
 	}
 	if !cf.negFallback {
-		cf.negLits, cf.negIsLit = literalConjunction(logic.NNF(ng))
+		cf.negLits, cf.negIsLit = literalConjunction(c.in, logic.NNF(ng))
 	}
 }
 
@@ -357,13 +374,13 @@ func (c *Context) CheckAssuming(aids []int, goal logic.Formula, cone func() []in
 	c.ensureNeg(gid)
 	g := &c.forms[gid]
 
-	// Compose the query text from memoized pieces, tracking whether the
+	// Compose the query node from memoized piece ids, tracking whether the
 	// literal fast path applies. Degenerate shapes defer to the stateless
 	// pipeline wholesale.
 	if g.negFallback {
 		return c.fallback(mkey, mkey2, sel, gid)
 	}
-	pieces := make([]string, 0, len(sel)+len(g.negPieces))
+	ids := c.idsBuf[:0]
 	allLit := true
 	for _, id := range sel {
 		cf := &c.forms[id]
@@ -372,20 +389,26 @@ func (c *Context) CheckAssuming(aids []int, goal logic.Formula, cone func() []in
 		}
 		// And() splices FAnd children into the enclosing conjunction, so a
 		// form always contributes its flattened pieces (none for ⊤).
-		pieces = append(pieces, cf.pieces...)
+		ids = append(ids, cf.pieceIDs...)
 		allLit = allLit && cf.isLit
 	}
-	pieces = append(pieces, g.negPieces...)
+	ids = append(ids, g.negIDs...)
 	allLit = allLit && g.negIsLit
 
 	s.Stats.Queries++
-	text := joinPieces(pieces)
+	// The composed conjunction node: structurally equal to the formula
+	// logic.And would build from the same pieces, so its hash keys the
+	// shared cache exactly where a stateless solver's query lands.
+	qid := c.in.MkAnd(ids)
+	c.idsBuf = ids[:0]
+	nPieces := len(ids)
+	h := c.in.Hash(qid)
 	// Shared-cache layering: decided entries are facts and always reusable;
 	// Unknown entries are recomputed so the context's verdict stays a
-	// function of the query text (the stateless pipeline reproduces the
+	// function of the query (the stateless pipeline reproduces the
 	// same Unknown on the literal path, and the boolean path falls back to
 	// it), never of another worker's schedule.
-	if r, ok := s.cache.Get(text, s.MaxConflicts, s.MaxLazyIters); ok && r != Unknown {
+	if r, ok := s.cache.Get(h, c.in, qid, s.MaxConflicts, s.MaxLazyIters); ok && r != Unknown {
 		c.stats.SharedHits++
 		s.Stats.CacheHits++
 		c.memo[mkey] = r
@@ -398,7 +421,7 @@ func (c *Context) CheckAssuming(aids []int, goal logic.Formula, cone func() []in
 
 	var r Result
 	fromStateless := true
-	if len(pieces) == 0 {
+	if nPieces == 0 {
 		// The composed query is ⊤.
 		r = Sat
 	} else if allLit {
@@ -410,7 +433,7 @@ func (c *Context) CheckAssuming(aids []int, goal logic.Formula, cone func() []in
 		c.litBuf = lits[:0]
 		s.Stats.TheoryChecks++
 		c.stats.TheoryChecks++
-		switch checkTheory(lits, s.Theory) {
+		switch checkTheory(c.in, lits, s.Theory) {
 		case theoryUnsat:
 			r = Unsat
 		case theorySat:
@@ -433,7 +456,7 @@ func (c *Context) CheckAssuming(aids []int, goal logic.Formula, cone func() []in
 		s.Stats.Unknowns++
 	}
 	if fromStateless {
-		s.cache.Put(text, r, s.MaxConflicts, s.MaxLazyIters)
+		s.cache.Put(h, c.in, qid, r, s.MaxConflicts, s.MaxLazyIters)
 	}
 	c.memo[mkey] = r
 	c.coneMemo[mkey2] = r
@@ -454,11 +477,11 @@ func (c *Context) fallback(mkey, mkey2 string, sel []int, gid int) Result {
 }
 
 func (c *Context) internGoal(goal logic.Formula) int {
-	key := goal.String()
-	if id, ok := c.byKey[key]; ok {
+	nid := c.in.InternFormula(goal)
+	if id, ok := c.byNode[nid]; ok {
 		return id
 	}
-	return c.intern(goal, key)
+	return c.intern(goal, nid)
 }
 
 func (c *Context) memoKey(aids []int, gid int) []byte {
@@ -493,41 +516,18 @@ func (c *Context) composeFormula(sel []int, gid int) logic.Formula {
 	return logic.And(logic.And(fs...), logic.Not(c.forms[gid].f))
 }
 
-func joinPieces(pieces []string) string {
-	switch len(pieces) {
-	case 0:
-		return "true"
-	case 1:
-		return pieces[0]
-	}
-	n := 2 + 5*(len(pieces)-1) // parens plus " ∧ " (3 bytes + 2 spaces) per join
-	for _, p := range pieces {
-		n += len(p)
-	}
-	b := make([]byte, 0, n)
-	b = append(b, '(')
-	for i, p := range pieces {
-		if i > 0 {
-			b = append(b, " ∧ "...)
-		}
-		b = append(b, p...)
-	}
-	b = append(b, ')')
-	return string(b)
-}
-
 // ---- incremental boolean path ----
 
 // incCNF is a persistent Tseitin encoder feeding one incremental CDCL
 // instance. Definitional clauses state only v ↔ subformula equivalences —
 // they are valid regardless of which formulas are asserted — so encodings
-// are memoized by formula text and shared across checks; asserting a
+// are memoized by interned NodeID and shared across checks; asserting a
 // formula is assuming its root literal.
 type incCNF struct {
 	nvars   int
-	atomVar map[string]int
-	varAtom map[int]logic.FAtom
-	compVar map[string]int
+	atomVar map[logic.NodeID]int
+	varAtom map[int]logic.NodeID
+	compVar map[logic.NodeID]int
 	sat     *cdcl
 	// defClauses counts definitional clauses; anything beyond them in the
 	// instance's database is a learned or blocking clause surviving from an
@@ -537,9 +537,9 @@ type incCNF struct {
 
 func newIncCNF() *incCNF {
 	return &incCNF{
-		atomVar: map[string]int{},
-		varAtom: map[int]logic.FAtom{},
-		compVar: map[string]int{},
+		atomVar: map[logic.NodeID]int{},
+		varAtom: map[int]logic.NodeID{},
+		compVar: map[logic.NodeID]int{},
 		sat:     newCDCL(0, nil, 0),
 	}
 }
@@ -557,44 +557,44 @@ func (b *incCNF) clause(lits ...int) {
 
 func (b *incCNF) carried() int { return len(b.sat.clauses) - b.defClauses }
 
-// encode returns a literal equivalent to f, memoized on subformula text.
-func (b *incCNF) encode(f logic.Formula) int {
-	switch x := f.(type) {
-	case logic.FTrue:
-		if v, ok := b.compVar["true"]; ok {
+// encode returns a literal equivalent to the interned formula node id,
+// memoized on NodeID (hash-consing makes equal subformulas the same key).
+func (b *incCNF) encode(in *logic.Interner, id logic.NodeID) int {
+	switch in.Kind(id) {
+	case logic.KTrue:
+		if v, ok := b.compVar[id]; ok {
 			return v
 		}
 		v := b.fresh()
 		b.clause(v)
-		b.compVar["true"] = v
+		b.compVar[id] = v
 		return v
-	case logic.FFalse:
-		if v, ok := b.compVar["false"]; ok {
+	case logic.KFalse:
+		if v, ok := b.compVar[id]; ok {
 			return v
 		}
 		v := b.fresh()
 		b.clause(-v)
-		b.compVar["false"] = v
+		b.compVar[id] = v
 		return v
-	case logic.FAtom:
-		k := x.String()
-		if v, ok := b.atomVar[k]; ok {
+	case logic.KAtom:
+		if v, ok := b.atomVar[id]; ok {
 			return v
 		}
 		v := b.fresh()
-		b.atomVar[k] = v
-		b.varAtom[v] = x
+		b.atomVar[id] = v
+		b.varAtom[v] = id
 		return v
-	case logic.FNot:
-		return -b.encode(x.F)
-	case logic.FAnd:
-		k := x.String()
-		if v, ok := b.compVar[k]; ok {
+	case logic.KNot:
+		return -b.encode(in, in.Kids(id)[0])
+	case logic.KAnd:
+		if v, ok := b.compVar[id]; ok {
 			return v
 		}
-		lgs := make([]int, len(x.Fs))
-		for i, g := range x.Fs {
-			lgs[i] = b.encode(g)
+		kids := in.Kids(id)
+		lgs := make([]int, len(kids))
+		for i, k := range kids {
+			lgs[i] = b.encode(in, k)
 		}
 		v := b.fresh()
 		all := make([]int, 0, len(lgs)+1)
@@ -604,16 +604,16 @@ func (b *incCNF) encode(f logic.Formula) int {
 		}
 		all = append(all, v)
 		b.clause(all...)
-		b.compVar[k] = v
+		b.compVar[id] = v
 		return v
-	case logic.FOr:
-		k := x.String()
-		if v, ok := b.compVar[k]; ok {
+	case logic.KOr:
+		if v, ok := b.compVar[id]; ok {
 			return v
 		}
-		lgs := make([]int, len(x.Fs))
-		for i, g := range x.Fs {
-			lgs[i] = b.encode(g)
+		kids := in.Kids(id)
+		lgs := make([]int, len(kids))
+		for i, k := range kids {
+			lgs[i] = b.encode(in, k)
 		}
 		v := b.fresh()
 		all := make([]int, 0, len(lgs)+1)
@@ -623,10 +623,27 @@ func (b *incCNF) encode(f logic.Formula) int {
 		}
 		all = append(all, -v)
 		b.clause(all...)
-		b.compVar[k] = v
+		b.compVar[id] = v
 		return v
 	}
 	panic("smt: unknown formula")
+}
+
+// collectAtomIDs gathers the distinct atom nodes of a formula node in
+// first-occurrence order.
+func collectAtomIDs(in *logic.Interner, id logic.NodeID, seen map[logic.NodeID]bool, out []logic.NodeID) []logic.NodeID {
+	switch in.Kind(id) {
+	case logic.KAtom:
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	case logic.KNot, logic.KAnd, logic.KOr:
+		for _, k := range in.Kids(id) {
+			out = collectAtomIDs(in, k, seen, out)
+		}
+	}
+	return out
 }
 
 // encodeForm encodes an interned formula once, recording its root literal
@@ -636,11 +653,11 @@ func (c *Context) encodeForm(cf *cform) {
 		c.stats.CNFMemoHits++
 		return
 	}
-	cf.root = c.enc.encode(cf.f)
-	atoms := logic.Atoms(cf.f)
+	cf.root = c.enc.encode(c.in, cf.id)
+	atoms := collectAtomIDs(c.in, cf.id, map[logic.NodeID]bool{}, nil)
 	vars := make([]int, 0, len(atoms))
 	for _, a := range atoms {
-		vars = append(vars, c.enc.atomVar[a.String()])
+		vars = append(vars, c.enc.atomVar[a])
 	}
 	sort.Ints(vars)
 	cf.atomVars = vars
@@ -704,17 +721,17 @@ func (c *Context) solveBool(sel []int, gid int) Result {
 			if model[v] == 0 {
 				continue
 			}
-			lits = append(lits, theoryLit{atom: enc.varAtom[v], pos: model[v] == 1})
+			lits = append(lits, litOfAtomNode(c.in, enc.varAtom[v], model[v] == 1))
 			vars = append(vars, v)
 		}
 		s.Stats.TheoryChecks++
-		switch checkTheory(lits, s.Theory) {
+		switch checkTheory(c.in, lits, s.Theory) {
 		case theorySat:
 			return Sat
 		case theoryUnknown:
 			return Unknown
 		}
-		core, coreVars := s.minimizeCore(lits, vars)
+		core, coreVars := s.minimizeCore(c.in, lits, vars)
 		clause := make([]int, len(core))
 		for i := range core {
 			if core[i].pos {

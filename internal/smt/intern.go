@@ -20,9 +20,6 @@
 package smt
 
 import (
-	"fmt"
-	"strings"
-
 	"consolidation/internal/logic"
 )
 
@@ -31,13 +28,28 @@ import (
 // products (both factors non-constant) are canonicalised into applications
 // of the synthetic symbol "$mul" with sorted arguments, making them
 // uninterpreted-but-congruent: x*y and y*x share a node.
+//
+// Nodes are deduplicated structurally — constants by value, variables by
+// name, applications by (function, child ids) through hash buckets — never
+// by rendering keys to text. Inputs arrive as logic.NodeIDs into a source
+// logic.Interner (the hash-consed term DAG), so repeated subterms cost one
+// memo lookup instead of a re-walk. ID assignment order is a function of
+// the literal sequence alone, which the Nelson–Oppen probe order (and
+// therefore verdict determinism) depends on.
 type interner struct {
-	byKey map[string]int
-	nodes []inode
+	byConst    map[int64]int
+	byVar      map[string]int
+	appBuckets map[uint64][]int
+	nodes      []inode
+
+	// memoNode and memoLin cache per-source-node results; valid because an
+	// interner lives for exactly one checkTheory call and sees one source
+	// arena (hash-consing makes equal NodeIDs equal subtrees).
+	memoNode map[logic.NodeID]int
+	memoLin  map[logic.NodeID]lin
 }
 
 type inode struct {
-	key string
 	// fn is non-empty for application nodes (including "$mul"); such nodes
 	// participate in congruence closure.
 	fn       string
@@ -47,67 +59,119 @@ type inode struct {
 	constVal int64
 	// varName is set for variable nodes.
 	varName string
+	// hash is the dedup hash of an application node over (fn, children).
+	hash uint64
 }
 
 func newInterner() *interner {
-	return &interner{byKey: map[string]int{}}
-}
-
-func (in *interner) get(key string) (int, bool) {
-	id, ok := in.byKey[key]
-	return id, ok
-}
-
-func (in *interner) add(n inode) int {
-	if id, ok := in.byKey[n.key]; ok {
-		return id
+	return &interner{
+		byConst:    map[int64]int{},
+		byVar:      map[string]int{},
+		appBuckets: map[uint64][]int{},
+		memoNode:   map[logic.NodeID]int{},
+		memoLin:    map[logic.NodeID]lin{},
 	}
-	id := len(in.nodes)
-	in.nodes = append(in.nodes, n)
-	in.byKey[n.key] = id
-	return id
 }
 
 // internConst interns an integer constant.
 func (in *interner) internConst(v int64) int {
-	return in.add(inode{key: fmt.Sprintf("#%d", v), isConst: true, constVal: v})
+	if id, ok := in.byConst[v]; ok {
+		return id
+	}
+	id := len(in.nodes)
+	in.nodes = append(in.nodes, inode{isConst: true, constVal: v})
+	in.byConst[v] = id
+	return id
 }
 
 // internVar interns a variable.
 func (in *interner) internVar(name string) int {
-	return in.add(inode{key: "v:" + name, varName: name})
-}
-
-// internApp interns an application over already-interned children.
-func (in *interner) internApp(fn string, children []int) int {
-	parts := make([]string, len(children))
-	for i, c := range children {
-		parts[i] = fmt.Sprintf("%d", c)
+	if id, ok := in.byVar[name]; ok {
+		return id
 	}
-	key := "a:" + fn + "(" + strings.Join(parts, ",") + ")"
-	return in.add(inode{key: key, fn: fn, children: children})
+	id := len(in.nodes)
+	in.nodes = append(in.nodes, inode{varName: name})
+	in.byVar[name] = id
+	return id
 }
 
-// internTerm interns a logic.Term, returning the node for the term itself.
-// Arithmetic structure is *not* flattened here; linearisation happens in
-// linOfTerm, which calls back into internTerm for opaque subterms.
-func (in *interner) internTerm(t logic.Term) int {
-	switch x := t.(type) {
-	case logic.TConst:
-		return in.internConst(x.Value)
-	case logic.TVar:
-		return in.internVar(x.Name)
-	case logic.TApp:
-		children := make([]int, len(x.Args))
-		for i, a := range x.Args {
-			children[i] = in.internTerm(a)
+// internApp interns an application over already-interned children,
+// deduplicating through hash buckets with structural verification.
+func (in *interner) internApp(fn string, children []int) int {
+	h := hashString(fn)
+	for _, c := range children {
+		h = ihashCombine(h, uint64(c))
+	}
+	for _, id := range in.appBuckets[h] {
+		nd := &in.nodes[id]
+		if nd.fn != fn || len(nd.children) != len(children) {
+			continue
 		}
-		return in.internApp(x.Func, children)
-	case logic.TBin:
-		l := in.internTerm(x.L)
-		r := in.internTerm(x.R)
+		same := true
+		for i := range children {
+			if nd.children[i] != children[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return id
+		}
+	}
+	id := len(in.nodes)
+	in.nodes = append(in.nodes, inode{fn: fn, children: append([]int(nil), children...), hash: h})
+	in.appBuckets[h] = append(in.appBuckets[h], id)
+	return id
+}
+
+// ihashCombine mixes a value into a hash; deterministic across processes.
+func ihashCombine(h, x uint64) uint64 {
+	h ^= x + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return h
+}
+
+// hashString is 64-bit FNV-1a.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// internNode interns a term given by its node in the source arena,
+// returning the solver-local node for the term itself. Arithmetic
+// structure is *not* flattened here; linearisation happens in linOfNode,
+// which calls back into internNode for opaque subterms. The traversal
+// order mirrors the term structure exactly, so ID assignment matches what
+// walking the original logic.Term would produce.
+func (in *interner) internNode(src *logic.Interner, t logic.NodeID) int {
+	if id, ok := in.memoNode[t]; ok {
+		return id
+	}
+	var id int
+	switch src.Kind(t) {
+	case logic.KConst:
+		id = in.internConst(src.ConstVal(t))
+	case logic.KVar:
+		id = in.internVar(src.Name(t))
+	case logic.KApp:
+		kids := src.Kids(t)
+		children := make([]int, len(kids))
+		for i, k := range kids {
+			children[i] = in.internNode(src, k)
+		}
+		id = in.internApp(src.Name(t), children)
+	case logic.KBin:
+		kids := src.Kids(t)
+		l := in.internNode(src, kids[0])
+		r := in.internNode(src, kids[1])
 		var fn string
-		switch x.Op {
+		switch src.BinOp(t) {
 		case logic.Add:
 			fn = "$add"
 		case logic.Sub:
@@ -115,9 +179,12 @@ func (in *interner) internTerm(t logic.Term) int {
 		case logic.Mul:
 			fn = "$mulraw"
 		}
-		return in.internApp(fn, []int{l, r})
+		id = in.internApp(fn, []int{l, r})
+	default:
+		panic("smt: non-term node in internNode")
 	}
-	panic("smt: unknown term")
+	in.memoNode[t] = id
+	return id
 }
 
 // lin is a linear combination Σ kᵢ·entity(idᵢ) + c over "atomic" arithmetic
@@ -205,42 +272,52 @@ func (l lin) add(m lin) lin {
 
 func (l lin) isConst() bool { return len(l.terms) == 0 }
 
-// linOfTerm converts a term to a linear form, interning opaque subterms
-// (applications and nonlinear products) as atomic entities.
-func (in *interner) linOfTerm(t logic.Term) lin {
-	switch x := t.(type) {
-	case logic.TConst:
-		l := newLin()
-		l.c = x.Value
+// linOfNode converts a source-arena term node to a linear form, interning
+// opaque subterms (applications and nonlinear products) as atomic
+// entities. Results are memoized per source node; lin values are
+// functional, so sharing them is safe.
+func (in *interner) linOfNode(src *logic.Interner, t logic.NodeID) lin {
+	if l, ok := in.memoLin[t]; ok {
 		return l
-	case logic.TVar:
-		return newLin().addTerm(in.internVar(x.Name), 1)
-	case logic.TApp:
-		return newLin().addTerm(in.internTerm(x), 1)
-	case logic.TBin:
-		switch x.Op {
-		case logic.Add:
-			return in.linOfTerm(x.L).add(in.linOfTerm(x.R))
-		case logic.Sub:
-			return in.linOfTerm(x.L).add(in.linOfTerm(x.R).scale(-1))
-		case logic.Mul:
-			ll := in.linOfTerm(x.L)
-			lr := in.linOfTerm(x.R)
-			if ll.isConst() {
-				return lr.scale(ll.c)
-			}
-			if lr.isConst() {
-				return ll.scale(lr.c)
-			}
-			// Nonlinear: canonicalise as an uninterpreted product of the two
-			// subterm nodes, sorted to exploit commutativity.
-			a := in.internTerm(x.L)
-			b := in.internTerm(x.R)
-			if b < a {
-				a, b = b, a
-			}
-			return newLin().addTerm(in.internApp("$mul", []int{a, b}), 1)
-		}
 	}
-	panic("smt: unknown term in linOfTerm")
+	var out lin
+	switch src.Kind(t) {
+	case logic.KConst:
+		out = newLin()
+		out.c = src.ConstVal(t)
+	case logic.KVar:
+		out = newLin().addTerm(in.internVar(src.Name(t)), 1)
+	case logic.KApp:
+		out = newLin().addTerm(in.internNode(src, t), 1)
+	case logic.KBin:
+		kids := src.Kids(t)
+		switch src.BinOp(t) {
+		case logic.Add:
+			out = in.linOfNode(src, kids[0]).add(in.linOfNode(src, kids[1]))
+		case logic.Sub:
+			out = in.linOfNode(src, kids[0]).add(in.linOfNode(src, kids[1]).scale(-1))
+		case logic.Mul:
+			ll := in.linOfNode(src, kids[0])
+			lr := in.linOfNode(src, kids[1])
+			switch {
+			case ll.isConst():
+				out = lr.scale(ll.c)
+			case lr.isConst():
+				out = ll.scale(lr.c)
+			default:
+				// Nonlinear: canonicalise as an uninterpreted product of the
+				// two subterm nodes, sorted to exploit commutativity.
+				a := in.internNode(src, kids[0])
+				b := in.internNode(src, kids[1])
+				if b < a {
+					a, b = b, a
+				}
+				out = newLin().addTerm(in.internApp("$mul", []int{a, b}), 1)
+			}
+		}
+	default:
+		panic("smt: non-term node in linOfNode")
+	}
+	in.memoLin[t] = out
+	return out
 }

@@ -5,17 +5,18 @@ import (
 )
 
 // cnfBuilder performs a Tseitin encoding of a formula into CNF. Variables
-// are 1-based; literals are ±var. Each distinct atom (by string) gets one
-// variable; composite subformulas get auxiliary variables.
+// are 1-based; literals are ±var. Each distinct atom (by interned node)
+// gets one variable; composite subformulas get auxiliary variables.
 type cnfBuilder struct {
+	in      *logic.Interner
 	nvars   int
 	clauses [][]int
-	atomVar map[string]int
-	varAtom map[int]logic.FAtom
+	atomVar map[logic.NodeID]int
+	varAtom map[int]logic.NodeID
 }
 
-func newCNFBuilder() *cnfBuilder {
-	return &cnfBuilder{atomVar: map[string]int{}, varAtom: map[int]logic.FAtom{}}
+func newCNFBuilder(in *logic.Interner) *cnfBuilder {
+	return &cnfBuilder{in: in, atomVar: map[logic.NodeID]int{}, varAtom: map[int]logic.NodeID{}}
 }
 
 func (b *cnfBuilder) fresh() int {
@@ -39,13 +40,13 @@ func (b *cnfBuilder) encode(f logic.Formula) int {
 		b.addClause(-v)
 		return v
 	case logic.FAtom:
-		k := x.String()
+		k := b.in.InternFormula(x)
 		if v, ok := b.atomVar[k]; ok {
 			return v
 		}
 		v := b.fresh()
 		b.atomVar[k] = v
-		b.varAtom[v] = x
+		b.varAtom[v] = k
 		return v
 	case logic.FNot:
 		return -b.encode(x.F)

@@ -61,11 +61,12 @@ func (s Stats) Diff(o Stats) Stats {
 }
 
 // Solver answers satisfiability and entailment queries in QF_UFLIA. It
-// caches results by formula text in a Cache: consolidation issues many
-// identical queries while walking similar UDFs, and a Cache shared between
-// solvers (NewWithCache) lets parallel consolidation workers reuse each
-// other's verdicts. A Solver itself is not safe for concurrent use; create
-// one per goroutine and share the Cache.
+// caches results in a Cache keyed by the formula's structural hash:
+// consolidation issues many identical queries while walking similar UDFs,
+// and a Cache shared between solvers (NewWithCache) lets parallel
+// consolidation workers reuse each other's verdicts — structural hashes
+// agree across workers' private interners. A Solver itself is not safe for
+// concurrent use; create one per goroutine and share the Cache.
 type Solver struct {
 	// MaxConflicts bounds CDCL search; exceeded means Unknown.
 	MaxConflicts int
@@ -77,10 +78,30 @@ type Solver struct {
 	Stats Stats
 	cache *Cache
 
+	// in is the solver's private hash-consing arena: queried formulas are
+	// interned once, and every downstream layer (cache key, literal
+	// extraction, CNF atoms, theory terms) works on NodeIDs instead of
+	// re-walking or re-rendering trees.
+	in *logic.Interner
+
 	// Trace, when set, observes every Check with its verdict and whether
 	// the cache answered it. Diagnostic hook for the oracle and for
 	// determinism debugging; leave nil in production paths.
 	Trace func(f logic.Formula, r Result, cached bool)
+}
+
+// solverInternCap bounds the private arena; past it the arena is replaced
+// at the next Check, which is safe because nothing keyed by NodeIDs
+// outlives a single Check (the cache stores hashes and formulas, not IDs).
+const solverInternCap = 1 << 18
+
+// interner returns the private arena, creating it on first use so that
+// zero-constructed Solvers in tests keep working.
+func (s *Solver) interner() *logic.Interner {
+	if s.in == nil {
+		s.in = logic.NewInterner()
+	}
+	return s.in
 }
 
 // New returns a solver with default budgets and a private cache.
@@ -103,8 +124,13 @@ func (s *Solver) Cache() *Cache { return s.cache }
 // Check decides satisfiability of f.
 func (s *Solver) Check(f logic.Formula) Result {
 	s.Stats.Queries++
-	key := f.String()
-	if r, ok := s.cache.Get(key, s.MaxConflicts, s.MaxLazyIters); ok {
+	if s.in != nil && s.in.Len() > solverInternCap {
+		s.in = logic.NewInterner()
+	}
+	in := s.interner()
+	id := in.InternFormula(f)
+	h := in.Hash(id)
+	if r, ok := s.cache.Get(h, in, id, s.MaxConflicts, s.MaxLazyIters); ok {
 		s.Stats.CacheHits++
 		if s.Trace != nil {
 			s.Trace(f, r, true)
@@ -115,7 +141,7 @@ func (s *Solver) Check(f logic.Formula) Result {
 	if r == Unknown {
 		s.Stats.Unknowns++
 	}
-	s.cache.Put(key, r, s.MaxConflicts, s.MaxLazyIters)
+	s.cache.Put(h, in, id, r, s.MaxConflicts, s.MaxLazyIters)
 	if s.Trace != nil {
 		s.Trace(f, r, false)
 	}
@@ -141,12 +167,13 @@ func (s *Solver) check(f logic.Formula) Result {
 	case logic.FFalse:
 		return Unsat
 	}
+	in := s.interner()
 	// Fast path: consolidation queries are overwhelmingly pure conjunctions
 	// of literals (a context Ψ plus one negated goal literal). Those need no
 	// SAT search at all — a single theory check decides them.
-	if lits, ok := literalConjunction(logic.NNF(f)); ok {
+	if lits, ok := literalConjunction(in, logic.NNF(f)); ok {
 		s.Stats.TheoryChecks++
-		switch checkTheory(lits, s.Theory) {
+		switch checkTheory(in, lits, s.Theory) {
 		case theoryUnsat:
 			return Unsat
 		case theorySat:
@@ -155,7 +182,7 @@ func (s *Solver) check(f logic.Formula) Result {
 			return Unknown
 		}
 	}
-	b := newCNFBuilder()
+	b := newCNFBuilder(in)
 	root := b.encode(f)
 	b.addClause(root)
 
@@ -183,12 +210,12 @@ func (s *Solver) check(f logic.Formula) Result {
 			if model[v] == 0 {
 				continue
 			}
-			lits = append(lits, theoryLit{atom: b.varAtom[v], pos: model[v] == 1})
+			lits = append(lits, litOfAtomNode(in, b.varAtom[v], model[v] == 1))
 			kept = append(kept, v)
 		}
 		vars = kept
 		s.Stats.TheoryChecks++
-		switch checkTheory(lits, s.Theory) {
+		switch checkTheory(in, lits, s.Theory) {
 		case theorySat:
 			return Sat
 		case theoryUnknown:
@@ -197,7 +224,7 @@ func (s *Solver) check(f logic.Formula) Result {
 			return Unknown
 		}
 		// Theory conflict: minimise it and add a blocking clause.
-		core, coreVars := s.minimizeCore(lits, vars)
+		core, coreVars := s.minimizeCore(in, lits, vars)
 		clause := make([]int, len(core))
 		for i := range core {
 			if core[i].pos {
@@ -212,8 +239,9 @@ func (s *Solver) check(f logic.Formula) Result {
 }
 
 // literalConjunction recognises a formula in NNF that is a conjunction of
-// literals and extracts them; second result is false otherwise.
-func literalConjunction(f logic.Formula) ([]theoryLit, bool) {
+// literals and extracts them, interning each atom's sides into in; second
+// result is false otherwise.
+func literalConjunction(in *logic.Interner, f logic.Formula) ([]theoryLit, bool) {
 	var lits []theoryLit
 	var walk func(logic.Formula) bool
 	walk = func(f logic.Formula) bool {
@@ -221,11 +249,11 @@ func literalConjunction(f logic.Formula) ([]theoryLit, bool) {
 		case logic.FTrue:
 			return true
 		case logic.FAtom:
-			lits = append(lits, theoryLit{atom: x, pos: true})
+			lits = append(lits, litOfAtomNode(in, in.InternFormula(x), true))
 			return true
 		case logic.FNot:
 			if a, ok := x.F.(logic.FAtom); ok {
-				lits = append(lits, theoryLit{atom: a, pos: false})
+				lits = append(lits, litOfAtomNode(in, in.InternFormula(a), false))
 				return true
 			}
 			return false
@@ -247,8 +275,10 @@ func literalConjunction(f logic.Formula) ([]theoryLit, bool) {
 
 // minimizeCore shrinks an inconsistent literal set by deletion: drop a
 // literal, re-check, keep the drop if still inconsistent. Bounded so that
-// large conjunctions do not trigger quadratic re-checking.
-func (s *Solver) minimizeCore(lits []theoryLit, vars []int) ([]theoryLit, []int) {
+// large conjunctions do not trigger quadratic re-checking. src is the
+// arena the literals' NodeIDs live in (the solver's own for stateless
+// checks, the Context's for incremental ones).
+func (s *Solver) minimizeCore(src *logic.Interner, lits []theoryLit, vars []int) ([]theoryLit, []int) {
 	const maxMinimize = 48
 	if len(lits) > maxMinimize {
 		return lits, vars
@@ -260,7 +290,7 @@ func (s *Solver) minimizeCore(lits []theoryLit, vars []int) ([]theoryLit, []int)
 		trial = append(trial, core[:i]...)
 		trial = append(trial, core[i+1:]...)
 		s.Stats.TheoryChecks++
-		if checkTheory(trial, s.Theory) == theoryUnsat {
+		if checkTheory(src, trial, s.Theory) == theoryUnsat {
 			core = trial
 			cvars = append(cvars[:i], cvars[i+1:]...)
 		} else {

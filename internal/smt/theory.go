@@ -8,10 +8,19 @@ import (
 )
 
 // theoryLit is an atom with a polarity, the unit the combined theory solver
-// reasons about.
+// reasons about. The atom's sides are interned term nodes in whichever
+// logic.Interner produced the literal (the solver's or a Context's); the
+// pairing arena is passed alongside to checkTheory.
 type theoryLit struct {
-	atom logic.FAtom
+	l, r logic.NodeID
+	pred logic.Pred
 	pos  bool
+}
+
+// litOfAtomNode builds the theory literal for an interned KAtom node.
+func litOfAtomNode(in *logic.Interner, atom logic.NodeID, pos bool) theoryLit {
+	kids := in.Kids(atom)
+	return theoryLit{l: kids[0], r: kids[1], pred: in.PredOf(atom), pos: pos}
 }
 
 // theoryStatus is the outcome of a conjunction check.
@@ -36,9 +45,10 @@ func defaultTheoryConfig() theoryConfig {
 }
 
 // checkTheory decides satisfiability of a conjunction of literals in
-// QF_UFLIA. It is sound for both answers; theoryUnknown is returned when a
-// resource cap was hit, and callers must treat it as "possibly sat".
-func checkTheory(lits []theoryLit, cfg theoryConfig) theoryStatus {
+// QF_UFLIA; src is the arena the literals' term NodeIDs live in. It is
+// sound for both answers; theoryUnknown is returned when a resource cap
+// was hit, and callers must treat it as "possibly sat".
+func checkTheory(src *logic.Interner, lits []theoryLit, cfg theoryConfig) theoryStatus {
 	in := newInterner()
 
 	type liaConstraint struct {
@@ -54,28 +64,28 @@ func checkTheory(lits []theoryLit, cfg theoryConfig) theoryStatus {
 	// Intern literal sides and derive arithmetic constraints. Comparisons
 	// normalise to "lin ≤ 0" over integers; strict < becomes ≤ -1.
 	for _, lt := range lits {
-		l := in.internTerm(lt.atom.L)
-		r := in.internTerm(lt.atom.R)
-		diff := in.linOfTerm(lt.atom.L).add(in.linOfTerm(lt.atom.R).scale(-1))
+		l := in.internNode(src, lt.l)
+		r := in.internNode(src, lt.r)
+		diff := in.linOfNode(src, lt.l).add(in.linOfNode(src, lt.r).scale(-1))
 		switch {
-		case lt.atom.Pred == logic.Eq && lt.pos:
+		case lt.pred == logic.Eq && lt.pos:
 			ccEqs = append(ccEqs, ccEq{l, r})
 			constraints = append(constraints, liaConstraint{l: diff, eq: true})
-		case lt.atom.Pred == logic.Eq && !lt.pos:
+		case lt.pred == logic.Eq && !lt.pos:
 			ccNeqs = append(ccNeqs, ccEq{l, r})
 			diseqLins = append(diseqLins, diff)
-		case lt.atom.Pred == logic.Le && lt.pos:
+		case lt.pred == logic.Le && lt.pos:
 			constraints = append(constraints, liaConstraint{l: diff, upper: true})
-		case lt.atom.Pred == logic.Le && !lt.pos:
+		case lt.pred == logic.Le && !lt.pos:
 			// ¬(l ≤ r)  ⇔  r ≤ l - 1  ⇔  r - l + 1 ≤ 0
 			neg := diff.scale(-1)
 			neg.c++
 			constraints = append(constraints, liaConstraint{l: neg, upper: true})
-		case lt.atom.Pred == logic.Lt && lt.pos:
+		case lt.pred == logic.Lt && lt.pos:
 			d := diff
 			d.c++
 			constraints = append(constraints, liaConstraint{l: d, upper: true})
-		case lt.atom.Pred == logic.Lt && !lt.pos:
+		case lt.pred == logic.Lt && !lt.pos:
 			// ¬(l < r) ⇔ r ≤ l ⇔ r - l ≤ 0
 			constraints = append(constraints, liaConstraint{l: diff.scale(-1), upper: true})
 		}

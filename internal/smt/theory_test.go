@@ -7,6 +7,11 @@ import (
 	"consolidation/internal/logic"
 )
 
+// tlit interns an atom into in and wraps it as a theory literal.
+func tlit(in *logic.Interner, a logic.FAtom, pos bool) theoryLit {
+	return litOfAtomNode(in, in.InternFormula(a), pos)
+}
+
 // TestTheoryConjunctionsAgainstEnumeration cross-validates the combined
 // theory checker on random conjunctions over integers and one
 // uninterpreted function, using exhaustive enumeration of variable values
@@ -41,6 +46,7 @@ func TestTheoryConjunctionsAgainstEnumeration(t *testing.T) {
 	fInterp := func(_ string, args []int64) int64 { return (args[0]*3+1)%5 - 2 }
 
 	for trial := 0; trial < 200; trial++ {
+		in := logic.NewInterner()
 		var lits []theoryLit
 		var f logic.Formula = logic.FTrue{}
 		n := 2 + rng.Intn(3)
@@ -51,14 +57,14 @@ func TestTheoryConjunctionsAgainstEnumeration(t *testing.T) {
 				R:    mkTerm(2),
 			}
 			pos := rng.Intn(2) == 0
-			lits = append(lits, theoryLit{atom: atom, pos: pos})
+			lits = append(lits, tlit(in, atom, pos))
 			if pos {
 				f = logic.And(f, atom)
 			} else {
 				f = logic.And(f, logic.Not(atom))
 			}
 		}
-		got := checkTheory(lits, defaultTheoryConfig())
+		got := checkTheory(in, lits, defaultTheoryConfig())
 
 		// Enumerate models with the fixed f interpretation. A found model
 		// proves satisfiability under at least one interpretation; the
@@ -83,14 +89,15 @@ func TestTheoryConjunctionsAgainstEnumeration(t *testing.T) {
 func TestTheoryDistinctConstants(t *testing.T) {
 	one := logic.Num(1)
 	two := logic.Num(2)
-	lits := []theoryLit{{atom: logic.FAtom{Pred: logic.Eq, L: one, R: two}, pos: true}}
-	if got := checkTheory(lits, defaultTheoryConfig()); got != theoryUnsat {
+	in := logic.NewInterner()
+	lits := []theoryLit{tlit(in, logic.FAtom{Pred: logic.Eq, L: one, R: two}, true)}
+	if got := checkTheory(in, lits, defaultTheoryConfig()); got != theoryUnsat {
 		t.Fatalf("1 = 2 should be unsat, got %v", got)
 	}
 	f1 := logic.TApp{Func: "f", Args: []logic.Term{one}}
 	f2 := logic.TApp{Func: "f", Args: []logic.Term{two}}
-	lits = []theoryLit{{atom: logic.FAtom{Pred: logic.Eq, L: f1, R: f2}, pos: false}}
-	if got := checkTheory(lits, defaultTheoryConfig()); got != theorySat {
+	lits = []theoryLit{tlit(in, logic.FAtom{Pred: logic.Eq, L: f1, R: f2}, false)}
+	if got := checkTheory(in, lits, defaultTheoryConfig()); got != theorySat {
 		t.Fatalf("f(1) ≠ f(2) should be sat, got %v", got)
 	}
 }
@@ -104,11 +111,12 @@ func TestTheoryDeepCongruence(t *testing.T) {
 			logic.TApp{Func: "g", Args: []logic.Term{inner}},
 		}}
 	}
+	in := logic.NewInterner()
 	lits := []theoryLit{
-		{atom: logic.FAtom{Pred: logic.Eq, L: logic.V("x"), R: logic.V("y")}, pos: true},
-		{atom: logic.FAtom{Pred: logic.Eq, L: wrap("x"), R: wrap("y")}, pos: false},
+		tlit(in, logic.FAtom{Pred: logic.Eq, L: logic.V("x"), R: logic.V("y")}, true),
+		tlit(in, logic.FAtom{Pred: logic.Eq, L: wrap("x"), R: wrap("y")}, false),
 	}
-	if got := checkTheory(lits, defaultTheoryConfig()); got != theoryUnsat {
+	if got := checkTheory(in, lits, defaultTheoryConfig()); got != theoryUnsat {
 		t.Fatalf("deep congruence failed: %v", got)
 	}
 }

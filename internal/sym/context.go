@@ -27,17 +27,33 @@ type Context struct {
 	sctx   *smt.Context
 	aidBuf []int
 	conj   []conjunct
+	// in is the context's hash-consing arena: every assumed formula and
+	// recorded definition is interned once, and the relevance filter and
+	// definition index work on dense VarIDs/CallKeys/NodeIDs instead of
+	// rendered strings. Clones share the arena (append-only, single
+	// consolidation worker per solver, so sharing is safe and keeps IDs
+	// comparable across clones).
+	in *logic.Interner
 	// version maps a program variable to its current SSA version.
 	version map[string]int
 	// MaxConjuncts bounds context growth; when exceeded, the oldest
 	// conjuncts are dropped (sound weakening). 0 means unbounded.
 	MaxConjuncts int
 
+	// varAll/varLink are per-query generation stamps indexed by VarID: a
+	// slot holding the current queryGen marks the variable as in the cone
+	// (all occurrences / linkable occurrences respectively). Generational
+	// stamping replaces the per-query map allocations of the text-keyed
+	// filter with two O(1)-reset arrays.
+	varAll   []uint32
+	varLink  []uint32
+	queryGen uint32
+
 	// defs indexes assignment right-hand sides for the cross-simplifier:
-	// canonical term text → definition. A definition is usable only while
+	// interned rhs node → definition. A definition is usable only while
 	// the defined variable's version has not advanced (the runtime variable
 	// still holds that value).
-	defs map[string]DefEntry
+	defs map[logic.NodeID]DefEntry
 	// funcDefs indexes definitions by the library functions their
 	// right-hand sides call, bounding the simplifier's SMT probing.
 	funcDefs map[string][]DefEntry
@@ -56,82 +72,24 @@ type Context struct {
 // and they respect argument compatibility.
 type conjunct struct {
 	f logic.Formula
-	// vars, linkVars and calls are stored as slices: the relevance filter
-	// only ever iterates them (membership lives in the per-query cone sets),
-	// and slice scans beat map iteration by a wide margin on these small
-	// sets. Element order is irrelevant — the filter computes set unions and
-	// existence checks, both order-independent.
-	vars     []string
-	linkVars []string
-	calls    []string
+	// vars, linkVars and calls alias the interner's per-node sorted sets:
+	// the relevance filter only ever iterates them (membership lives in the
+	// generation-stamped arrays), the arena computed them once at interning
+	// time, and nothing mutates them.
+	vars     []logic.VarID
+	linkVars []logic.VarID
+	calls    []logic.CallKey
 	// aid is the fact's assertion id in the solving context (when one is
 	// attached); equal formulas share an id.
 	aid int
 }
 
-// setToSlice flattens a string set into a slice.
-func setToSlice(m map[string]bool) []string {
-	if len(m) == 0 {
-		return nil
-	}
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	return out
-}
-
-// callKeys collects call-instance keys of a formula.
-func callKeys(f logic.Formula) map[string]bool {
-	keys := map[string]bool{}
-	for _, app := range logic.Apps(f) {
-		keys[logic.CallInstanceKey(app)] = true
-	}
-	return keys
-}
-
-// linkableVars collects variables occurring outside call arguments.
-func linkableVars(f logic.Formula) map[string]bool {
-	out := map[string]bool{}
-	var walkT func(logic.Term)
-	walkT = func(t logic.Term) {
-		switch x := t.(type) {
-		case logic.TVar:
-			out[x.Name] = true
-		case logic.TBin:
-			walkT(x.L)
-			walkT(x.R)
-			// TApp: stop — its argument occurrences do not link.
-		}
-	}
-	var walk func(logic.Formula)
-	walk = func(f logic.Formula) {
-		switch x := f.(type) {
-		case logic.FAtom:
-			walkT(x.L)
-			walkT(x.R)
-		case logic.FNot:
-			walk(x.F)
-		case logic.FAnd:
-			for _, g := range x.Fs {
-				walk(g)
-			}
-		case logic.FOr:
-			for _, g := range x.Fs {
-				walk(g)
-			}
-		}
-	}
-	walk(f)
-	return out
-}
-
 // keysLink reports whether the conjunct's call keys contain a pair
 // unifiable with the goal's.
-func keysLink(a []string, b map[string]bool) bool {
+func (c *Context) keysLink(a, b []logic.CallKey) bool {
 	for _, ka := range a {
-		for kb := range b {
-			if logic.KeysUnify(ka, kb) {
+		for _, kb := range b {
+			if c.in.KeysUnify(ka, kb) {
 				return true
 			}
 		}
@@ -145,22 +103,27 @@ type DefEntry struct {
 	Var     string
 	Version int
 	Rhs     logic.Term
-	// Keys are the call-instance keys of Rhs, used to filter hopeless
-	// equality probes in the cross-simplifier.
-	Keys map[string]bool
+	// Keys are the call-instance keys of Rhs (in the context's arena), used
+	// to filter hopeless equality probes in the cross-simplifier.
+	Keys []logic.CallKey
 }
 
 // NewContext returns the empty context ⊤ backed by the given solver.
 func NewContext(solver *smt.Solver) *Context {
 	return &Context{
 		solver:       solver,
+		in:           logic.NewInterner(),
 		version:      map[string]int{},
 		MaxConjuncts: 512,
-		defs:         map[string]DefEntry{},
+		defs:         map[logic.NodeID]DefEntry{},
 		funcDefs:     map[string][]DefEntry{},
 		varDefs:      map[string]DefEntry{},
 	}
 }
+
+// Interner exposes the context's arena so the cross-simplifier can intern
+// probe terms against the same ID space the definition index uses.
+func (c *Context) Interner() *logic.Interner { return c.in }
 
 // Solver exposes the underlying solver (shared, not concurrency-safe).
 func (c *Context) Solver() *smt.Solver { return c.solver }
@@ -184,10 +147,11 @@ func (c *Context) Clone() *Context {
 	out := &Context{
 		solver:       c.solver,
 		sctx:         c.sctx,
+		in:           c.in,
 		conj:         append([]conjunct(nil), c.conj...),
 		version:      make(map[string]int, len(c.version)),
 		MaxConjuncts: c.MaxConjuncts,
-		defs:         make(map[string]DefEntry, len(c.defs)),
+		defs:         make(map[logic.NodeID]DefEntry, len(c.defs)),
 		funcDefs:     make(map[string][]DefEntry, len(c.funcDefs)),
 		varDefs:      make(map[string]DefEntry, len(c.varDefs)),
 	}
@@ -291,13 +255,12 @@ func (c *Context) Assume(f logic.Formula) {
 	if _, ok := f.(logic.FTrue); ok {
 		return
 	}
-	vars := map[string]bool{}
-	logic.CollectVars(f, vars)
+	id := c.in.InternFormula(f)
 	cj := conjunct{
 		f:        f,
-		vars:     setToSlice(vars),
-		linkVars: setToSlice(linkableVars(f)),
-		calls:    setToSlice(callKeys(f)),
+		vars:     c.in.VarsOf(id),
+		linkVars: c.in.LinkVarsOf(id),
+		calls:    c.in.CallKeysOf(id),
 	}
 	if c.sctx != nil {
 		cj.aid = c.sctx.Assert(f)
@@ -320,8 +283,9 @@ func (c *Context) AssumeAssign(x string, e lang.IntExpr) {
 	c.version[x]++
 	c.Assume(logic.EqT(c.CurTerm(x), rhs))
 	// Index the definition for the cross-simplifier.
-	entry := DefEntry{Var: x, Version: c.version[x], Rhs: rhs, Keys: logic.TermCallKeys(rhs)}
-	c.defs[rhs.String()] = entry
+	rid := c.in.InternTerm(rhs)
+	entry := DefEntry{Var: x, Version: c.version[x], Rhs: rhs, Keys: c.in.CallKeysOf(rid)}
+	c.defs[rid] = entry
 	c.varDefs[x] = entry
 	for fn := range termFuncs(rhs) {
 		c.funcDefs[fn] = append(c.funcDefs[fn], entry)
@@ -331,7 +295,13 @@ func (c *Context) AssumeAssign(x string, e lang.IntExpr) {
 // LookupDef returns a variable currently holding exactly the value of t, if
 // one was recorded by an assignment and has not been overwritten since.
 func (c *Context) LookupDef(t logic.Term) (string, bool) {
-	e, ok := c.defs[t.String()]
+	return c.LookupDefID(c.in.InternTerm(t))
+}
+
+// LookupDefID is LookupDef for a term already interned into the context's
+// arena, skipping the re-walk.
+func (c *Context) LookupDefID(id logic.NodeID) (string, bool) {
+	e, ok := c.defs[id]
 	if !ok || c.version[e.Var] != e.Version {
 		return "", false
 	}
@@ -470,16 +440,25 @@ func (c *Context) relevantIndices(goal logic.Formula) []int {
 	// Cone of influence: a conjunct is relevant when one of its linkable
 	// variables is already in the cone, when the cone's linkable variables
 	// reach into it, or when a call instance unifies with one in the cone.
-	allVars := map[string]bool{}
-	logic.CollectVars(goal, allVars)
-	linkVars := linkableVars(goal)
-	for v := range allVars {
+	// Membership is generation-stamped: varAll[v] == gen means v is in the
+	// cone (any occurrence), varLink[v] == gen means it links.
+	gid := c.in.InternFormula(goal)
+	c.queryGen++
+	gen := c.queryGen
+	if n := c.in.NumVars(); len(c.varAll) < n {
+		// Fresh zeroed arrays suffice: stamps from earlier generations are
+		// dead, and all of this query's marks happen after the growth.
+		c.varAll = make([]uint32, n)
+		c.varLink = make([]uint32, n)
+	}
+	for _, v := range c.in.VarsOf(gid) {
 		// Goal variables always link, wherever they occur: the goal is
 		// what we are proving, so every fact directly about its terms
 		// matters.
-		linkVars[v] = true
+		c.varAll[v] = gen
+		c.varLink[v] = gen
 	}
-	calls := callKeys(goal)
+	calls := c.in.CallKeysOf(gid)
 	picked := make([]bool, len(c.conj))
 	var out []int
 	for changed := true; changed; {
@@ -491,20 +470,20 @@ func (c *Context) relevantIndices(goal logic.Formula) []int {
 			cj := &c.conj[i]
 			hit := false
 			for _, v := range cj.linkVars {
-				if allVars[v] {
+				if c.varAll[v] == gen {
 					hit = true
 					break
 				}
 			}
 			if !hit {
 				for _, v := range cj.vars {
-					if linkVars[v] {
+					if c.varLink[v] == gen {
 						hit = true
 						break
 					}
 				}
 			}
-			if !hit && len(cj.calls) > 0 && keysLink(cj.calls, calls) {
+			if !hit && len(cj.calls) > 0 && c.keysLink(cj.calls, calls) {
 				hit = true
 			}
 			if !hit {
@@ -514,10 +493,10 @@ func (c *Context) relevantIndices(goal logic.Formula) []int {
 			changed = true
 			out = append(out, i)
 			for _, v := range cj.vars {
-				allVars[v] = true
+				c.varAll[v] = gen
 			}
 			for _, v := range cj.linkVars {
-				linkVars[v] = true
+				c.varLink[v] = gen
 			}
 			// Call keys deliberately do NOT propagate: key linking is one
 			// hop from the goal. Transitive key expansion would pull every
