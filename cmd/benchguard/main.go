@@ -14,6 +14,14 @@
 //   - smt_queries must not grow beyond baseline × (1 + tol),
 //   - consolidation_ms must not exceed baseline × (1 + walltol).
 //
+// When the baseline carries a "latency" object (cmd/latency -json) and a
+// fresh run is supplied via -latcurrent, benchguard additionally gates
+// per-record merged-program throughput: cons_records_per_sec must not
+// fall below baseline × (1 − thrtol). Throughput is a property of the
+// runner, so the default tolerance is loose (-thrtol 0.5): the gate
+// trips on a lost superinstruction or a re-introduced per-record
+// allocation, not on a noisy neighbour.
+//
 // Abstract cost, merged program size, and query counts are deterministic
 // for a fixed (seed, scale, count) configuration, so tol exists only as a
 // safety margin for intentional small shifts; genuine regressions blow
@@ -40,16 +48,20 @@ import (
 )
 
 var (
-	flagBaseline = flag.String("baseline", "BENCH_pr5.json", "committed baseline file (object with a summaries array)")
-	flagCurrent  = flag.String("current", "", "comma-separated JSON-lines files from cmd/figure9 -json / cmd/figure10 -json")
-	flagTol      = flag.Float64("tol", 0.02, "relative tolerance before a drift counts as a regression")
-	flagWallTol  = flag.Float64("walltol", 1.0, "relative tolerance for consolidation wall clock (0 disables the wall-clock gate)")
+	flagBaseline   = flag.String("baseline", "BENCH_pr6.json", "committed baseline file (object with a summaries array)")
+	flagCurrent    = flag.String("current", "", "comma-separated JSON-lines files from cmd/figure9 -json / cmd/figure10 -json")
+	flagLatCurrent = flag.String("latcurrent", "", "JSON file from cmd/latency -json for the throughput gate (requires a latency baseline)")
+	flagTol        = flag.Float64("tol", 0.02, "relative tolerance before a drift counts as a regression")
+	flagWallTol    = flag.Float64("walltol", 1.0, "relative tolerance for consolidation wall clock (0 disables the wall-clock gate)")
+	flagThrTol     = flag.Float64("thrtol", 0.5, "relative tolerance for per-record throughput (0 disables the throughput gate)")
 )
 
 // baselineFile is the subset of the trajectory file benchguard reads;
-// extra fields (wall-clock records, provenance) are ignored.
+// extra fields (wall-clock records, provenance) are ignored. Latency, when
+// present, holds the cmd/latency -json baseline for the throughput gate.
 type baselineFile struct {
-	Summaries []bench.Summary `json:"summaries"`
+	Summaries []bench.Summary       `json:"summaries"`
+	Latency   *bench.LatencySummary `json:"latency"`
 }
 
 func key(s bench.Summary) string {
@@ -147,9 +159,42 @@ func main() {
 		fmt.Printf("ok   %s: cost_speedup %.4f (baseline %.4f), merged_size %d, smt_queries %d\n",
 			k, c.CostSpeedup, b.CostSpeedup, c.MergedSize, c.SMTQueries)
 	}
+	if *flagLatCurrent != "" {
+		if base.Latency == nil {
+			failf("%s has no latency baseline for -latcurrent", *flagBaseline)
+		} else if cur, err := readLatency(*flagLatCurrent); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		} else {
+			b, k := base.Latency, fmt.Sprintf("%s/%s/n=%d (latency)", base.Latency.Domain, base.Latency.Family, base.Latency.NumUDFs)
+			if !cur.Agree {
+				failf("%s: consolidated and sequential operators disagree", k)
+			}
+			if tt := *flagThrTol; tt > 0 && b.ConsRecordsPerSec > 0 && cur.ConsRecordsPerSec < b.ConsRecordsPerSec*(1-tt) {
+				failf("%s: consolidated throughput %.0f rec/s fell below baseline %.0f rec/s (−%.0f%% allowed)",
+					k, cur.ConsRecordsPerSec, b.ConsRecordsPerSec, tt*100)
+			} else {
+				fmt.Printf("ok   %s: cons throughput %.0f rec/s (baseline %.0f rec/s)\n",
+					k, cur.ConsRecordsPerSec, b.ConsRecordsPerSec)
+			}
+		}
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s) vs %s\n", failures, *flagBaseline)
 		os.Exit(1)
 	}
 	fmt.Printf("benchguard: %d configuration(s) within %.0f%% of %s\n", len(base.Summaries), tol*100, *flagBaseline)
+}
+
+// readLatency parses one cmd/latency -json output object.
+func readLatency(path string) (*bench.LatencySummary, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s bench.LatencySummary
+	if err := json.Unmarshal([]byte(strings.TrimSpace(string(raw))), &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
 }

@@ -9,15 +9,22 @@
 // (in abstract cost units per record) under whereMany and under
 // whereConsolidated.
 //
+// With -json the tool instead emits one bench.LatencySummary object: the
+// per-record execution throughput of both operators (records divided by
+// wall time inside UDF evaluation) plus the latency headline — the input
+// to benchguard's throughput regression gate.
+//
 // Usage:
 //
-//	latency [-domain twitter] [-family Q2] [-n 10] [-scale 0.02] [-seed 1]
+//	latency [-domain twitter] [-family Q2] [-n 10] [-scale 0.02] [-seed 1] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"consolidation/internal/bench"
 	"consolidation/internal/consolidate"
@@ -32,6 +39,7 @@ var (
 	flagN      = flag.Int("n", 10, "number of queries")
 	flagScale  = flag.Float64("scale", 0.02, "dataset scale")
 	flagSeed   = flag.Int64("seed", 1, "workload seed")
+	flagJSON   = flag.Bool("json", false, "emit a bench.LatencySummary object instead of the table")
 )
 
 func main() {
@@ -57,14 +65,41 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if !engine.SameResults(many, &cons.Result) {
+	agree := engine.SameResults(many, &cons.Result)
+	if !agree && !*flagJSON {
 		fatal(fmt.Errorf("operators disagree"))
+	}
+
+	var worse int
+	for q := 0; q < *flagN; q++ {
+		if cons.MeanLatency(q) > many.MeanLatency(q) {
+			worse++
+		}
+	}
+
+	if *flagJSON {
+		s := bench.LatencySummary{
+			Domain:            *flagDomain,
+			Family:            *flagFamily,
+			NumUDFs:           *flagN,
+			Records:           cons.Records,
+			ManyRecordsPerSec: recPerSec(many.Records, many.UDFTime),
+			ConsRecordsPerSec: recPerSec(cons.Records, cons.UDFTime),
+			ManyUDFMillis:     float64(many.UDFTime) / float64(time.Millisecond),
+			ConsUDFMillis:     float64(cons.UDFTime) / float64(time.Millisecond),
+			WorseQueries:      worse,
+			Agree:             agree,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(s); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("mean notification latency per record (cost units), %s/%s, %d queries\n\n",
 		*flagDomain, *flagFamily, *flagN)
 	fmt.Printf("%6s %14s %16s %9s\n", "query", "whereMany", "whereConsolidated", "ratio")
-	var worse int
 	for q := 0; q < *flagN; q++ {
 		m := many.MeanLatency(q)
 		c := cons.MeanLatency(q)
@@ -75,7 +110,6 @@ func main() {
 		mark := ""
 		if c > m {
 			mark = "  (slower)"
-			worse++
 		}
 		fmt.Printf("%6d %14.1f %16.1f %8.1fx%s\n", q, m, c, ratio, mark)
 	}
@@ -86,6 +120,16 @@ func main() {
 	fmt.Printf("SMT cache: %d queries, hit-rate %.1f%% (%d/%d lookups), %d entries, %d evictions\n",
 		cons.Multi.SMTQueries, cons.Multi.CacheHitRate()*100,
 		cs.Hits, cs.Lookups, cs.Entries, cs.Evictions)
+}
+
+// recPerSec converts a record count and the wall time spent inside UDF
+// evaluation into per-record throughput; zero when the interval is too
+// short to measure.
+func recPerSec(records int, udf time.Duration) float64 {
+	if udf <= 0 {
+		return 0
+	}
+	return float64(records) / udf.Seconds()
 }
 
 func maxLat(m *engine.Metrics) float64 {

@@ -288,6 +288,33 @@ func (o *Outcome) Summary() Summary {
 	}
 }
 
+// LatencySummary is the machine-readable form of one cmd/latency run:
+// per-record execution throughput of both operators plus the latency
+// headline. ConsRecordsPerSec is the PR-trajectory throughput metric —
+// records divided by wall time spent inside UDF evaluation of the merged
+// program — and is what benchguard's throughput gate compares across
+// commits. Throughput IS a property of the runner, so the gate uses a
+// loose tolerance; the metric exists to catch gross executor
+// regressions (a lost fusion, a re-introduced per-record allocation),
+// not scheduler noise.
+type LatencySummary struct {
+	Domain  string `json:"domain"`
+	Family  string `json:"family"`
+	NumUDFs int    `json:"num_udfs"`
+	Records int    `json:"records"`
+
+	ManyRecordsPerSec float64 `json:"many_records_per_sec"`
+	ConsRecordsPerSec float64 `json:"cons_records_per_sec"`
+	ManyUDFMillis     float64 `json:"many_udf_ms"`
+	ConsUDFMillis     float64 `json:"cons_udf_ms"`
+
+	// WorseQueries counts query positions whose mean notification
+	// latency increased under consolidation (Section 8's caveat).
+	WorseQueries int `json:"worse_queries"`
+
+	Agree bool `json:"agree"`
+}
+
 // Row renders an outcome as a fixed-width report line.
 func (o *Outcome) Row() string {
 	return fmt.Sprintf("%-8s %-4s  n=%-3d rec=%-6d  udf×%5.1f cost×%5.1f total×%5.1f  cons=%8s hit=%4.0f%%  ok=%v",

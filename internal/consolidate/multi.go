@@ -259,11 +259,23 @@ func addStats(dst *Stats, s Stats) {
 // running the consolidated program must produce exactly the union of the
 // originals' notification environments, at a cost no greater than the sum
 // of their costs. It returns a descriptive error on the first violation.
+// The merged program is additionally run through the bytecode VM — the
+// executor the engine actually uses — which must agree with the
+// interpreter on notes, total cost, and per-notification stamps.
 //
 // When the originals were consolidated with renumbering, pass ids mapping
 // each original's position to its notification id (nil means identity of
 // the program's own ids).
 func Verify(origs []*lang.Program, merged *lang.Program, lib lang.Library, cm *lang.CostModel, inputs [][]int64, renumbered bool) error {
+	mergedC, cerr := lang.Compile(merged)
+	if cerr != nil {
+		return fmt.Errorf("compile consolidated program: %w", cerr)
+	}
+	var ropts []lang.RunnerOption
+	if cm != nil {
+		ropts = append(ropts, lang.WithCostModel(cm))
+	}
+	runner := lang.NewRunner(mergedC, lib, ropts...)
 	for _, in := range inputs {
 		var sumCost int64
 		want := lang.Notifications{}
@@ -301,6 +313,21 @@ func Verify(origs []*lang.Program, merged *lang.Program, lib lang.Library, cm *l
 		}
 		if res.Cost > sumCost {
 			return fmt.Errorf("input %v: consolidated cost %d exceeds sequential cost %d", in, res.Cost, sumCost)
+		}
+		vmNotes, vmStamps, vmCost, err := runner.Run(in)
+		if err != nil {
+			return fmt.Errorf("vm: consolidated program on %v: %w", in, err)
+		}
+		if !res.Notes.Equal(vmNotes) {
+			return fmt.Errorf("vm: input %v: notifications %v, interp %v", in, vmNotes, res.Notes)
+		}
+		if vmCost != res.Cost {
+			return fmt.Errorf("vm: input %v: cost %d, interp %d", in, vmCost, res.Cost)
+		}
+		for id, c := range res.NoteCosts {
+			if vmStamps[id] != c {
+				return fmt.Errorf("vm: input %v: notification %d stamped %d, interp %d", in, id, vmStamps[id], c)
+			}
 		}
 	}
 	return nil

@@ -41,6 +41,15 @@ type Twitter struct {
 	encoded []string // per-tweet "lang|tok,tok,…"
 	costs   costTable
 
+	// sentTab/topicTab are per-token affinity lookup tables, built once at
+	// generation time from affinity() and shared read-only across clones:
+	// sentTab[tok*TwitterSentiments+s] == affinity(tok, s, TwitterSentiments)
+	// and topicTab[tok*TwitterTopics+t] == affinity(tok+7, t, TwitterTopics).
+	// Scoring scans then cost one table load per token instead of a hash
+	// and two divisions.
+	sentTab  []int8
+	topicTab []int8
+
 	curLang int64
 	cur     []int64
 	ok      bool
@@ -79,6 +88,17 @@ func GenTwitter(cfg TwitterConfig) *Twitter {
 		}
 		t.encoded = append(t.encoded, encodeInts([]int64{langID})+"|"+encodeInts(toks))
 	}
+	const ntok = twitterVocab + smileyKinds
+	t.sentTab = make([]int8, ntok*TwitterSentiments)
+	t.topicTab = make([]int8, ntok*TwitterTopics)
+	for tok := int64(0); tok < ntok; tok++ {
+		for s := int64(0); s < TwitterSentiments; s++ {
+			t.sentTab[tok*TwitterSentiments+s] = int8(affinity(tok, s, TwitterSentiments))
+		}
+		for tp := int64(0); tp < TwitterTopics; tp++ {
+			t.topicTab[tok*TwitterTopics+tp] = int8(affinity(tok+7, tp, TwitterTopics))
+		}
+	}
 	return t
 }
 
@@ -100,7 +120,8 @@ func (t *Twitter) SetRecord(i int) {
 
 // Clone implements engine.RecordLibrary.
 func (t *Twitter) Clone() engine.RecordLibrary {
-	return &Twitter{cfg: t.cfg, encoded: t.encoded, costs: t.costs}
+	return &Twitter{cfg: t.cfg, encoded: t.encoded, costs: t.costs,
+		sentTab: t.sentTab, topicTab: t.topicTab}
 }
 
 // FuncCost implements lang.FuncCoster.
@@ -116,48 +137,85 @@ func affinity(tok, class, space int64) int64 {
 	return 0
 }
 
-// Call implements lang.Library.
-func (t *Twitter) Call(name string, args []int64) (int64, error) {
+func (t *Twitter) smileyCount(args []int64) (int64, error) {
 	if !t.ok {
 		return 0, fmt.Errorf("data: twitter: no record selected")
 	}
+	var c int64
+	for _, tok := range t.cur {
+		if tok >= smileyBase {
+			c++
+		}
+	}
+	return c, nil
+}
+
+func (t *Twitter) sentimentScore(args []int64) (int64, error) {
+	if !t.ok {
+		return 0, fmt.Errorf("data: twitter: no record selected")
+	}
+	if len(args) != 2 {
+		return 0, errArity("sentimentScore", 2, len(args))
+	}
+	s := args[1]
+	if s < 0 || s >= TwitterSentiments {
+		return 0, fmt.Errorf("data: twitter: sentiment %d out of range", s)
+	}
+	tab := t.sentTab[s:]
+	var score int64
+	for _, tok := range t.cur {
+		score += int64(tab[tok*TwitterSentiments])
+	}
+	return score, nil
+}
+
+func (t *Twitter) topicScore(args []int64) (int64, error) {
+	if !t.ok {
+		return 0, fmt.Errorf("data: twitter: no record selected")
+	}
+	if len(args) != 2 {
+		return 0, errArity("topicScore", 2, len(args))
+	}
+	tp := args[1]
+	if tp < 0 || tp >= TwitterTopics {
+		return 0, fmt.Errorf("data: twitter: topic %d out of range", tp)
+	}
+	tab := t.topicTab[tp:]
+	var score int64
+	for _, tok := range t.cur {
+		score += int64(tab[tok*TwitterTopics])
+	}
+	return score, nil
+}
+
+func (t *Twitter) languageOf(args []int64) (int64, error) {
+	if !t.ok {
+		return 0, fmt.Errorf("data: twitter: no record selected")
+	}
+	return t.curLang, nil
+}
+
+// Resolve implements lang.DirectCaller, binding call sites once so the VM
+// skips the per-call name dispatch.
+func (t *Twitter) Resolve(name string) (func(args []int64) (int64, error), bool) {
 	switch name {
 	case "smileyCount":
-		var c int64
-		for _, tok := range t.cur {
-			if tok >= smileyBase {
-				c++
-			}
-		}
-		return c, nil
+		return t.smileyCount, true
 	case "sentimentScore":
-		if len(args) != 2 {
-			return 0, errArity(name, 2, len(args))
-		}
-		s := args[1]
-		if s < 0 || s >= TwitterSentiments {
-			return 0, fmt.Errorf("data: twitter: sentiment %d out of range", s)
-		}
-		var score int64
-		for _, tok := range t.cur {
-			score += affinity(tok, s, TwitterSentiments)
-		}
-		return score, nil
+		return t.sentimentScore, true
 	case "topicScore":
-		if len(args) != 2 {
-			return 0, errArity(name, 2, len(args))
-		}
-		tp := args[1]
-		if tp < 0 || tp >= TwitterTopics {
-			return 0, fmt.Errorf("data: twitter: topic %d out of range", tp)
-		}
-		var score int64
-		for _, tok := range t.cur {
-			score += affinity(tok+7, tp, TwitterTopics)
-		}
-		return score, nil
+		return t.topicScore, true
 	case "languageOf":
-		return t.curLang, nil
+		return t.languageOf, true
 	}
-	return 0, errNoFunc("twitter", name)
+	return nil, false
+}
+
+// Call implements lang.Library.
+func (t *Twitter) Call(name string, args []int64) (int64, error) {
+	fn, ok := t.Resolve(name)
+	if !ok {
+		return 0, errNoFunc("twitter", name)
+	}
+	return fn(args)
 }

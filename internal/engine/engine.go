@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"consolidation/internal/consolidate"
@@ -64,7 +65,7 @@ type Metrics struct {
 // MeanLatency returns the average notification latency of UDF q in cost
 // units, or 0 when nothing ran.
 func (m *Metrics) MeanLatency(q int) float64 {
-	if m.Records == 0 || q >= len(m.LatencySum) {
+	if m.Records == 0 || q < 0 || q >= len(m.LatencySum) {
 		return 0
 	}
 	return float64(m.LatencySum[q]) / float64(m.Records)
@@ -138,27 +139,33 @@ func WhereMany(data RecordLibrary, udfs []*lang.Program, opts Options) (*Result,
 	start := time.Now()
 	res, err := runPass(data, opts, func(lib RecordLibrary) evalFn {
 		runners := make([]*lang.Runner, len(compiled))
+		noteIdx := make([]int, len(compiled))
 		for i, c := range compiled {
 			runners[i] = lang.NewRunner(c, lib)
 			runners[i].MaxSteps = opts.MaxSteps
+			// The id is statically present (notifyIDOf found it), so the
+			// dense note slot resolves here, outside the record loop.
+			noteIdx[i], _ = c.NoteIndex(ids[i])
 		}
+		args := []int64{0}
 		return func(rec int, row []bool, lat []int64) (int64, time.Duration, error) {
 			var cost int64
 			var udfTime time.Duration
+			args[0] = int64(rec)
 			for q, rn := range runners {
 				t0 := time.Now()
-				notes, noteCosts, c, err := rn.Run([]int64{int64(rec)})
+				c, err := rn.RunDense(args)
 				udfTime += time.Since(t0)
 				if err != nil {
 					return 0, 0, fmt.Errorf("engine: UDF %s on record %d: %w", udfs[q].Name, rec, err)
 				}
-				v, ok := notes[ids[q]]
+				v, ok := rn.NoteAt(noteIdx[q])
 				if !ok {
 					return 0, 0, fmt.Errorf("engine: UDF %s did not notify id %d on record %d", udfs[q].Name, ids[q], rec)
 				}
 				// Sequential execution: this UDF's notification waited for
 				// all earlier UDFs on this record.
-				lat[q] += cost + noteCosts[ids[q]]
+				lat[q] += cost + rn.NoteCostAt(noteIdx[q])
 				cost += c
 				row[q] = v
 			}
@@ -213,20 +220,33 @@ func WhereConsolidated(data RecordLibrary, udfs []*lang.Program, copts consolida
 	res, err := runPass(data, opts, func(lib RecordLibrary) evalFn {
 		rn := lang.NewRunner(mergedC, lib)
 		rn.MaxSteps = opts.MaxSteps
+		// Notify ids were renumbered to query positions 0..n-1; resolve
+		// each to its dense note slot once. -1 marks an id the merged
+		// program can never broadcast (reported per record below).
+		noteIdx := make([]int, len(udfs))
+		for q := range udfs {
+			k, ok := mergedC.NoteIndex(q)
+			if !ok {
+				k = -1
+			}
+			noteIdx[q] = k
+		}
+		args := []int64{0}
 		return func(rec int, row []bool, lat []int64) (int64, time.Duration, error) {
+			args[0] = int64(rec)
 			t0 := time.Now()
-			notes, noteCosts, cost, err := rn.Run([]int64{int64(rec)})
+			cost, err := rn.RunDense(args)
 			ut := time.Since(t0)
 			if err != nil {
 				return 0, 0, fmt.Errorf("engine: consolidated UDF on record %d: %w", rec, err)
 			}
-			for q := range udfs {
-				v, ok := notes[q]
+			for q, k := range noteIdx {
+				v, ok := rn.NoteAt(k)
 				if !ok {
 					return 0, 0, fmt.Errorf("engine: consolidated UDF missing notification %d on record %d", q, rec)
 				}
 				row[q] = v
-				lat[q] += noteCosts[q]
+				lat[q] += rn.NoteCostAt(k)
 			}
 			return cost, ut, nil
 		}
@@ -263,9 +283,13 @@ func runPass(data RecordLibrary, opts Options,
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
-		cost     int64
-		udfTime  time.Duration
-		latency  = make([]int64, nUDFs)
+		// done lets the surviving workers bail out between records once any
+		// worker has recorded firstErr; their partial metrics are discarded
+		// with the failed pass anyway.
+		done    atomic.Bool
+		cost    int64
+		udfTime time.Duration
+		latency = make([]int64, nUDFs)
 	)
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -290,6 +314,9 @@ func runPass(data RecordLibrary, opts Options,
 			// allocation. Full slice expressions keep the rows independent.
 			backing := make([]bool, (hi-lo)*nUDFs)
 			for i := lo; i < hi; i++ {
+				if done.Load() {
+					return
+				}
 				lib.SetRecord(i)
 				off := (i - lo) * nUDFs
 				row := backing[off : off+nUDFs : off+nUDFs]
@@ -300,6 +327,7 @@ func runPass(data RecordLibrary, opts Options,
 						firstErr = err
 					}
 					mu.Unlock()
+					done.Store(true)
 					return
 				}
 				bools[i] = row

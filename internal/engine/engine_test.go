@@ -57,6 +57,24 @@ func thresholdUDFs(ks ...int64) []*lang.Program {
 	return out
 }
 
+// TestMeanLatencyBounds pins the out-of-range guards: a negative or
+// too-large query index returns 0 instead of panicking.
+func TestMeanLatencyBounds(t *testing.T) {
+	m := &Metrics{Records: 10, LatencySum: []int64{150}}
+	if got := m.MeanLatency(0); got != 15 {
+		t.Fatalf("MeanLatency(0) = %v, want 15", got)
+	}
+	for _, q := range []int{-1, 1, 99} {
+		if got := m.MeanLatency(q); got != 0 {
+			t.Fatalf("MeanLatency(%d) = %v, want 0", q, got)
+		}
+	}
+	var zero Metrics
+	if got := zero.MeanLatency(0); got != 0 {
+		t.Fatalf("zero-record MeanLatency = %v, want 0", got)
+	}
+}
+
 func TestWhereManyBasics(t *testing.T) {
 	d := toy(100)
 	udfs := thresholdUDFs(10, 25, 40)

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -53,5 +54,70 @@ func TestCancellationNoGoroutineLeak(t *testing.T) {
 		}
 		runtime.Gosched()
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// pacedData fails instantly in one worker's range while the other worker's
+// calls are slow and counted, so the test can observe how much of its chunk
+// the surviving worker ran after the error was recorded.
+type pacedData struct {
+	toyData
+	// failBelow makes calls on records with value < failBelow error
+	// immediately; other calls sleep briefly and are counted.
+	failBelow int64
+	firstErr  chan struct{} // closed when the failing worker has errored
+	slowCalls *atomic.Int64
+}
+
+func (d *pacedData) Clone() RecordLibrary {
+	return &pacedData{
+		toyData:   toyData{vals: d.toyData.vals},
+		failBelow: d.failBelow,
+		firstErr:  d.firstErr,
+		slowCalls: d.slowCalls,
+	}
+}
+
+func (d *pacedData) Call(name string, args []int64) (int64, error) {
+	if d.cur < d.failBelow {
+		err := fmt.Errorf("record value %d: injected failure", d.cur)
+		select {
+		case <-d.firstErr:
+		default:
+			close(d.firstErr)
+		}
+		return 0, err
+	}
+	// Wait until the failure has been recorded, then pace the survivor so
+	// the done flag has every chance to be observed between records.
+	<-d.firstErr
+	d.slowCalls.Add(1)
+	time.Sleep(time.Millisecond)
+	return d.toyData.Call(name, args)
+}
+
+// TestRunPassEarlyExitOnError pins the early-exit fix: once one worker
+// records an error, the other workers must stop at the next record boundary
+// instead of running their chunks to completion.
+func TestRunPassEarlyExitOnError(t *testing.T) {
+	const n = 200
+	d := &pacedData{failBelow: 1000, firstErr: make(chan struct{}), slowCalls: new(atomic.Int64)}
+	for r := 0; r < n; r++ {
+		// Worker 0's chunk (records 0..99) holds only value 1 (fails);
+		// worker 1's chunk holds only value 2000 (slow successes).
+		if r < n/2 {
+			d.vals = append(d.vals, 1)
+		} else {
+			d.vals = append(d.vals, 2000)
+		}
+	}
+	_, err := WhereMany(d, thresholdUDFs(10), Options{Workers: 2})
+	if err == nil {
+		t.Fatal("expected injected failure to surface")
+	}
+	// Without the done flag the surviving worker performs all 100 of its
+	// slow calls; with it, it stops within a few records of the failure.
+	if got := d.slowCalls.Load(); got > 20 {
+		t.Fatalf("surviving worker ran %d records after the error; early exit not taken", got)
 	}
 }

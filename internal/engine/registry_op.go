@@ -109,13 +109,14 @@ func WhereRegistry(data RecordLibrary, src SnapshotSource, opts Options) (*Regis
 
 		t0 := time.Now()
 		if cur.Compiled != nil {
-			notes, _, cost, err := runner(cur.Compiled).Run(args)
+			rn := runner(cur.Compiled)
+			cost, err := rn.RunDense(args)
 			if err != nil {
 				return nil, fmt.Errorf("engine: consolidated program (gen %d) on record %d: %w", cur.Gen, i, err)
 			}
 			out.UDFCost += cost
 			for slot, id := range cur.Slots {
-				v, ok := notes[slot]
+				v, ok := rn.Note(slot)
 				if !ok {
 					return nil, fmt.Errorf("engine: gen %d missing notification for slot %d on record %d", cur.Gen, slot, i)
 				}
@@ -127,11 +128,12 @@ func WhereRegistry(data RecordLibrary, src SnapshotSource, opts Options) (*Regis
 			}
 		}
 		for _, p := range cur.Pending {
-			notes, _, cost, err := runner(p.Compiled).Run(args)
+			rn := runner(p.Compiled)
+			cost, err := rn.RunDense(args)
 			if err != nil {
 				return nil, fmt.Errorf("engine: pending query %d on record %d: %w", p.ID, i, err)
 			}
-			v, ok := notes[p.NotifyID]
+			v, ok := rn.Note(p.NotifyID)
 			if !ok {
 				return nil, fmt.Errorf("engine: pending query %d did not notify id %d on record %d", p.ID, p.NotifyID, i)
 			}

@@ -4,64 +4,144 @@ import (
 	"fmt"
 )
 
-// Compiled is a slot-resolved form of a program: every variable is
-// pre-bound to an index into a flat frame, so evaluation performs no map
-// lookups. This mirrors the Steno-style UDF specialisation the paper cites
-// as complementary (Section 7): the merged programs consolidation produces
-// are large, and name-based environments would otherwise tax them more
+// Compiled is a program lowered to a flat bytecode form: one dense []instr
+// array with relative jump offsets for control flow, a register file for
+// expression temporaries, and every variable pre-bound to an index into a
+// flat frame, so evaluation performs no map lookups and no recursion. This
+// follows the Froid-style lowering the paper cites as complementary
+// (Section 7): the merged programs consolidation produces are large, and a
+// recursive tree walk with name-based environments would tax them far more
 // than the small originals.
 //
+// Notification ids are likewise renumbered at compile time to dense note
+// slots (first static occurrence order), so a run records notifications in
+// flat arrays instead of per-run maps. The engine renumbers notify ids to
+// query positions 0..n-1 before compiling; NoteIndex recovers the slot of
+// an id once, outside the per-record loop.
+//
 // Compiled evaluation implements exactly the cost semantics of Figure 2,
-// including per-notification cost stamps; RunCompiled agrees with
-// Interp.Run on every program (a property the tests check).
+// including per-notification cost stamps; Runner.Run agrees with Interp.Run
+// on every program, cost model, and error path (a property the tests and
+// the oracle's executor check enforce).
 type Compiled struct {
 	prog   *Program
 	nslots int
-	body   []cInstr
+	nregs  int
+	code   []instr
 	slotOf map[string]int
+	// nameOf is the slot→name table kept for diagnostics: the VM reports
+	// unbound variables by name, exactly as the interpreter does.
+	nameOf []string
+	// funcs are the called library functions in first-use order; call
+	// instructions hold an index into it. Per-function costs resolve once
+	// at NewRunner time against the runner's library and cost model.
+	funcs  []string
+	funcOf map[string]int
+	// noteIDs are the notification ids in first static occurrence order;
+	// a notify instruction holds its dense index.
+	noteIDs []int
+	noteOf  map[int]int
 }
 
-// cInstr is one compiled statement.
-type cInstr struct {
-	op   cOp
-	slot int      // assign target / notify id
-	val  bool     // notify value
-	ie   cExpr    // assign rhs
-	be   cBexpr   // cond/while test
-	blkA []cInstr // then / loop body
-	blkB []cInstr // else
+// instr is one bytecode instruction. Operand meaning depends on op:
+// registers and frame slots are a/b/c, jump offsets are relative (target =
+// pc + b), immediates (constants, call arity) live in imm.
+type instr struct {
+	op      vmOp
+	a, b, c int32
+	imm     int64
 }
 
-type cOp uint8
+type vmOp uint8
 
 const (
-	cAssign cOp = iota
-	cNotify
-	cCond
-	cWhile
+	vIntConst vmOp = iota // regs[a] = imm
+	vBoolConst            // regs[a] = imm (0/1); separate cost class
+	vLoad                 // regs[a] = frame slot b (unbound check)
+	vStore                // frame slot a = regs[b]
+	vAdd                  // regs[a] = regs[b] + regs[c]
+	vSub                  // regs[a] = regs[b] - regs[c]
+	vMul                  // regs[a] = regs[b] * regs[c]
+	vLt                   // regs[a] = regs[b] < regs[c]
+	vEq                   // regs[a] = regs[b] == regs[c]
+	vLe                   // regs[a] = regs[b] <= regs[c]
+	vNot                  // regs[a] = !regs[b]
+	vAnd                  // regs[a] = regs[b] & regs[c] (Figure 2: no short circuit)
+	vOr                   // regs[a] = regs[b] | regs[c]
+	vCall                 // regs[a] = funcs[b](regs[c:c+imm])
+	vJmp                  // pc += b
+	vJmpIfFalse           // if regs[a] == 0 { pc += b }; carries the Branch cost
+	vNotify               // note slot a = (b != 0), stamping the current cost
+	vStep                 // while-loop head: count an iteration against MaxSteps
+
+	// Superinstructions: fused forms of the patterns that dominate merged
+	// programs (assignments of call results, and cond/while tests that
+	// compare a variable against a constant or another variable). Each
+	// carries the summed Figure 2 cost of the instructions it replaces, so
+	// folding yields byte-identical cost accounting with fewer dispatches.
+	vCallS   // frame slot a = funcs[b](regs[c:c+imm]); carries the Assign cost
+	vCallSV  // frame slot a = funcs[b](slot c); one-variable argument list
+	vCallSVI // frame slot a = funcs[b](slot c, imm); the dominant call shape
+	// Fused cond-notify: `if (test) { notify q v } else { notify q !v }`
+	// is branchless — note slot a = (slot c OP imm), with polarity folded
+	// into the comparison (both arms cost the same, so the merged
+	// straight-line charge is exact).
+	vNtLtVI // note a = (slot c < imm)
+	vNtLtIV // note a = (imm < slot c)
+	vNtLeVI // note a = (slot c <= imm)
+	vNtLeIV // note a = (imm <= slot c)
+	vNtEqVI // note a = (slot c == imm)
+	vNtNeVI // note a = (slot c != imm)
+	// Fused test-and-branch: evaluate the comparison, jump by b when it is
+	// false. V?I forms compare frame slot a against imm (IV is the constant
+	// on the left); VV forms compare frame slots a and c.
+	vJFLtVI // if !(slot a < imm)     { pc += b }
+	vJFLtIV // if !(imm < slot a)     { pc += b }
+	vJFLtVV // if !(slot a < slot c)  { pc += b }
+	vJFLeVI // if !(slot a <= imm)    { pc += b }
+	vJFLeIV // if !(imm <= slot a)    { pc += b }
+	vJFLeVV // if !(slot a <= slot c) { pc += b }
+	vJFEqVI // if !(slot a == imm)    { pc += b }
+	vJFEqVV // if !(slot a == slot c) { pc += b }
 )
 
-// cExpr evaluates an integer expression against the machine.
-type cExpr interface {
-	eval(m *cMachine) (int64, error)
+// isJump reports whether op transfers control by a relative offset in b;
+// foldCosts uses it to find basic-block leaders.
+func isJump(op vmOp) bool {
+	switch op {
+	case vJmp, vJmpIfFalse,
+		vJFLtVI, vJFLtIV, vJFLtVV, vJFLeVI, vJFLeIV, vJFLeVV, vJFEqVI, vJFEqVV:
+		return true
+	}
+	return false
 }
 
-// cBexpr evaluates a boolean expression.
-type cBexpr interface {
-	evalB(m *cMachine) (bool, error)
+// isNotify reports whether op stamps a notification cost; foldCosts breaks
+// cost segments after each one so the stamps stay exact.
+func isNotify(op vmOp) bool {
+	switch op {
+	case vNotify, vNtLtVI, vNtLtIV, vNtLeVI, vNtLeIV, vNtEqVI, vNtNeVI:
+		return true
+	}
+	return false
 }
 
-// Compile resolves p's variables to frame slots.
+// Compile lowers p to flat bytecode, resolving variables to frame slots,
+// library calls to function indices, and notification ids to dense note
+// slots.
 func Compile(p *Program) (*Compiled, error) {
-	c := &Compiled{prog: p, slotOf: map[string]int{}}
+	c := &Compiled{
+		prog:   p,
+		slotOf: map[string]int{},
+		funcOf: map[string]int{},
+		noteOf: map[int]int{},
+	}
 	for _, prm := range p.Params {
 		c.slot(prm)
 	}
-	body, err := c.compileStmt(p.Body)
-	if err != nil {
+	if err := c.lowerStmt(p.Body); err != nil {
 		return nil, err
 	}
-	c.body = body
 	return c, nil
 }
 
@@ -74,6 +154,26 @@ func MustCompile(p *Program) *Compiled {
 	return c
 }
 
+// NoteIndex returns the dense note slot of a notification id, or false if
+// the program never notifies it. Callers on per-record hot paths resolve
+// ids to slots once and read results by slot.
+func (c *Compiled) NoteIndex(id int) (int, bool) {
+	k, ok := c.noteOf[id]
+	return k, ok
+}
+
+// NoteIDs returns the notification ids the program can broadcast, indexed
+// by dense note slot.
+func (c *Compiled) NoteIDs() []int { return c.noteIDs }
+
+// SlotName returns the variable name bound to a frame slot (diagnostics).
+func (c *Compiled) SlotName(slot int) string {
+	if slot >= 0 && slot < len(c.nameOf) {
+		return c.nameOf[slot]
+	}
+	return fmt.Sprintf("slot%d", slot)
+}
+
 func (c *Compiled) slot(name string) int {
 	if s, ok := c.slotOf[name]; ok {
 		return s
@@ -81,366 +181,351 @@ func (c *Compiled) slot(name string) int {
 	s := c.nslots
 	c.nslots++
 	c.slotOf[name] = s
+	c.nameOf = append(c.nameOf, name)
 	return s
 }
 
-func (c *Compiled) compileStmt(s Stmt) ([]cInstr, error) {
-	var out []cInstr
+func (c *Compiled) funcIndex(name string) int {
+	if i, ok := c.funcOf[name]; ok {
+		return i
+	}
+	i := len(c.funcs)
+	c.funcs = append(c.funcs, name)
+	c.funcOf[name] = i
+	return i
+}
+
+func (c *Compiled) noteSlot(id int) int {
+	if k, ok := c.noteOf[id]; ok {
+		return k
+	}
+	k := len(c.noteIDs)
+	c.noteIDs = append(c.noteIDs, id)
+	c.noteOf[id] = k
+	return k
+}
+
+func (c *Compiled) emit(in instr) int {
+	c.code = append(c.code, in)
+	return len(c.code) - 1
+}
+
+// patch points the jump at index j to the current end of the code array.
+func (c *Compiled) patch(j int) {
+	c.code[j].b = int32(len(c.code) - j)
+}
+
+// useRegs records that lowering needed regs [0, n).
+func (c *Compiled) useRegs(n int) {
+	if n > c.nregs {
+		c.nregs = n
+	}
+}
+
+func (c *Compiled) lowerStmt(s Stmt) error {
 	for _, st := range Flatten(s) {
 		switch t := st.(type) {
 		case Assign:
-			ie, err := c.compileInt(t.E)
-			if err != nil {
-				return nil, err
+			if call, ok := t.E.(Call); ok {
+				// Fuse the dominant assignment form: bind the call result
+				// straight to the frame slot, skipping the register round
+				// trip. f(v) and f(v, const) argument lists — the shapes
+				// query UDFs overwhelmingly use — fuse the argument
+				// evaluation in as well.
+				fi := int32(c.funcIndex(call.Func))
+				dst := int32(c.slot(t.Var))
+				if len(call.Args) == 1 {
+					if av, ok := call.Args[0].(Var); ok {
+						c.emit(instr{op: vCallSV, a: dst, b: fi, c: int32(c.slot(av.Name))})
+						continue
+					}
+				}
+				if len(call.Args) == 2 {
+					av, okV := call.Args[0].(Var)
+					ac, okC := call.Args[1].(IntConst)
+					if okV && okC {
+						c.emit(instr{op: vCallSVI, a: dst, b: fi, c: int32(c.slot(av.Name)), imm: ac.Value})
+						continue
+					}
+				}
+				for i, a := range call.Args {
+					if err := c.lowerInt(a, i); err != nil {
+						return err
+					}
+				}
+				c.useRegs(len(call.Args))
+				c.emit(instr{op: vCallS, a: dst, b: fi, c: 0, imm: int64(len(call.Args))})
+				continue
 			}
-			out = append(out, cInstr{op: cAssign, slot: c.slot(t.Var), ie: ie})
+			if err := c.lowerInt(t.E, 0); err != nil {
+				return err
+			}
+			c.emit(instr{op: vStore, a: int32(c.slot(t.Var)), b: 0})
 		case Notify:
-			out = append(out, cInstr{op: cNotify, slot: t.ID, val: t.Value})
+			val := int32(0)
+			if t.Value {
+				val = 1
+			}
+			c.emit(instr{op: vNotify, a: int32(c.noteSlot(t.ID)), b: val})
 		case Cond:
-			be, err := c.compileBool(t.Test)
-			if err != nil {
-				return nil, err
+			if c.tryFuseNotifyPair(t) {
+				continue
 			}
-			th, err := c.compileStmt(t.Then)
+			jf, err := c.lowerTestJmp(t.Test)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			el, err := c.compileStmt(t.Else)
-			if err != nil {
-				return nil, err
+			if err := c.lowerStmt(t.Then); err != nil {
+				return err
 			}
-			out = append(out, cInstr{op: cCond, be: be, blkA: th, blkB: el})
+			j := c.emit(instr{op: vJmp})
+			c.patch(jf) // else starts here
+			if err := c.lowerStmt(t.Else); err != nil {
+				return err
+			}
+			c.patch(j)
 		case While:
-			be, err := c.compileBool(t.Test)
+			head := len(c.code)
+			c.emit(instr{op: vStep})
+			jf, err := c.lowerTestJmp(t.Test)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			body, err := c.compileStmt(t.Body)
-			if err != nil {
-				return nil, err
+			if err := c.lowerStmt(t.Body); err != nil {
+				return err
 			}
-			out = append(out, cInstr{op: cWhile, be: be, blkA: body})
+			back := c.emit(instr{op: vJmp})
+			c.code[back].b = int32(head - back)
+			c.patch(jf)
 		default:
-			return nil, fmt.Errorf("lang: cannot compile %T", st)
-		}
-	}
-	return out, nil
-}
-
-// ---- compiled expressions ----
-
-type cConst struct{ v int64 }
-type cVar struct{ slot int }
-type cCall struct {
-	fn   string
-	cost int64 // resolved lazily against the library at run time when <0
-	args []cExpr
-}
-type cBin struct {
-	op   IntOp
-	l, r cExpr
-}
-
-type cCmp struct {
-	op   CmpOp
-	l, r cExpr
-}
-type cNot struct{ e cBexpr }
-type cBoolConst struct{ v bool }
-type cBinBool struct {
-	op   BoolOp
-	l, r cBexpr
-}
-
-func (c *Compiled) compileInt(e IntExpr) (cExpr, error) {
-	switch t := e.(type) {
-	case IntConst:
-		return cConst{v: t.Value}, nil
-	case Var:
-		return cVar{slot: c.slot(t.Name)}, nil
-	case Call:
-		args := make([]cExpr, len(t.Args))
-		for i, a := range t.Args {
-			ce, err := c.compileInt(a)
-			if err != nil {
-				return nil, err
-			}
-			args[i] = ce
-		}
-		return cCall{fn: t.Func, args: args}, nil
-	case BinInt:
-		l, err := c.compileInt(t.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := c.compileInt(t.R)
-		if err != nil {
-			return nil, err
-		}
-		return cBin{op: t.Op, l: l, r: r}, nil
-	}
-	return nil, fmt.Errorf("lang: cannot compile int expression %T", e)
-}
-
-func (c *Compiled) compileBool(e BoolExpr) (cBexpr, error) {
-	switch t := e.(type) {
-	case BoolConst:
-		return cBoolConst{v: t.Value}, nil
-	case Cmp:
-		l, err := c.compileInt(t.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := c.compileInt(t.R)
-		if err != nil {
-			return nil, err
-		}
-		return cCmp{op: t.Op, l: l, r: r}, nil
-	case Not:
-		b, err := c.compileBool(t.E)
-		if err != nil {
-			return nil, err
-		}
-		return cNot{e: b}, nil
-	case BinBool:
-		l, err := c.compileBool(t.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := c.compileBool(t.R)
-		if err != nil {
-			return nil, err
-		}
-		return cBinBool{op: t.Op, l: l, r: r}, nil
-	}
-	return nil, fmt.Errorf("lang: cannot compile bool expression %T", e)
-}
-
-// ---- machine ----
-
-type cMachine struct {
-	slots   []int64
-	defined []bool
-	lib     Library
-	cm      *CostModel
-	cost    int64
-	notes   Notifications
-	noteCst map[int]int64
-	steps   int64
-	maxStep int64
-	// per-machine call cost cache by function name
-	costCache map[string]int64
-}
-
-// Runner executes a Compiled program repeatedly with amortised frame
-// allocation. Not safe for concurrent use; create one per goroutine.
-type Runner struct {
-	c  *Compiled
-	m  cMachine
-	cm *CostModel
-	// MaxSteps bounds loop iterations per run; 0 disables.
-	MaxSteps int64
-}
-
-// NewRunner creates a runner against the given library.
-func NewRunner(c *Compiled, lib Library) *Runner {
-	r := &Runner{c: c, cm: DefaultCostModel()}
-	r.m = cMachine{
-		slots:     make([]int64, c.nslots),
-		defined:   make([]bool, c.nslots),
-		lib:       lib,
-		cm:        r.cm,
-		costCache: map[string]int64{},
-	}
-	return r
-}
-
-// Run executes the program, returning the notification environment, the
-// per-notification cost stamps, and the total cost.
-func (r *Runner) Run(args []int64) (Notifications, map[int]int64, int64, error) {
-	if len(args) != len(r.c.prog.Params) {
-		return nil, nil, 0, fmt.Errorf("lang: program %s expects %d arguments, got %d",
-			r.c.prog.Name, len(r.c.prog.Params), len(args))
-	}
-	m := &r.m
-	for i := range m.defined {
-		m.defined[i] = false
-	}
-	for i, a := range args {
-		m.slots[i] = a
-		m.defined[i] = true
-	}
-	m.cost = 0
-	m.steps = 0
-	m.maxStep = r.MaxSteps
-	m.notes = Notifications{}
-	m.noteCst = map[int]int64{}
-	if err := execBlock(m, r.c.body); err != nil {
-		return nil, nil, 0, err
-	}
-	return m.notes, m.noteCst, m.cost, nil
-}
-
-func execBlock(m *cMachine, blk []cInstr) error {
-	for i := range blk {
-		in := &blk[i]
-		switch in.op {
-		case cAssign:
-			v, err := in.ie.eval(m)
-			if err != nil {
-				return err
-			}
-			m.slots[in.slot] = v
-			m.defined[in.slot] = true
-			m.cost += m.cm.Assign
-		case cNotify:
-			if _, dup := m.notes[in.slot]; dup {
-				return fmt.Errorf("lang: duplicate notification for id %d", in.slot)
-			}
-			m.cost += m.cm.Notify
-			m.notes[in.slot] = in.val
-			m.noteCst[in.slot] = m.cost
-		case cCond:
-			b, err := in.be.evalB(m)
-			if err != nil {
-				return err
-			}
-			m.cost += m.cm.Branch
-			if b {
-				if err := execBlock(m, in.blkA); err != nil {
-					return err
-				}
-			} else if err := execBlock(m, in.blkB); err != nil {
-				return err
-			}
-		case cWhile:
-			for {
-				m.steps++
-				if m.maxStep > 0 && m.steps > m.maxStep {
-					return fmt.Errorf("lang: loop exceeded %d iterations", m.maxStep)
-				}
-				b, err := in.be.evalB(m)
-				if err != nil {
-					return err
-				}
-				m.cost += m.cm.Branch
-				if !b {
-					break
-				}
-				if err := execBlock(m, in.blkA); err != nil {
-					return err
-				}
-			}
+			return fmt.Errorf("lang: cannot compile %T", st)
 		}
 	}
 	return nil
 }
 
-func (e cConst) eval(m *cMachine) (int64, error) {
-	m.cost += m.cm.IntConst
-	return e.v, nil
-}
-
-func (e cVar) eval(m *cMachine) (int64, error) {
-	if !m.defined[e.slot] {
-		return 0, fmt.Errorf("lang: unbound variable (slot %d)", e.slot)
-	}
-	m.cost += m.cm.Var
-	return m.slots[e.slot], nil
-}
-
-func (e cCall) eval(m *cMachine) (int64, error) {
-	args := make([]int64, len(e.args))
-	for i, a := range e.args {
-		v, err := a.eval(m)
-		if err != nil {
-			return 0, err
+// lowerTestJmp lowers a cond/while test followed by a jump-if-false with an
+// unpatched offset, returning the jump's index for patching. Comparisons of
+// variables against constants or other variables — the dominant test shape
+// in merged programs — fuse into a single test-and-branch instruction;
+// anything else takes the generic register path.
+func (c *Compiled) lowerTestJmp(test BoolExpr) (int, error) {
+	if t, ok := test.(Cmp); ok {
+		if j, fused := c.tryFuseCmpJmp(t); fused {
+			return j, nil
 		}
-		args[i] = v
 	}
-	v, err := m.lib.Call(e.fn, args)
-	if err != nil {
+	if err := c.lowerBool(test, 0); err != nil {
 		return 0, err
 	}
-	fc, ok := m.costCache[e.fn]
+	return c.emit(instr{op: vJmpIfFalse, a: 0}), nil
+}
+
+// tryFuseNotifyPair lowers `if (v OP const) { notify q x } else
+// { notify q !x }` — the dominant leaf shape of merged programs — to a
+// single branchless cond-notify instruction. Valid because both arms charge
+// identical cost (test + branch + notify), so the straight-line fold is
+// byte-identical; a then-arm notifying false folds the negation into the
+// comparison (¬(a<b) ⇔ b≤a).
+func (c *Compiled) tryFuseNotifyPair(t Cond) bool {
+	thenS := Flatten(t.Then)
+	elseS := Flatten(t.Else)
+	if len(thenS) != 1 || len(elseS) != 1 {
+		return false
+	}
+	tn, ok1 := thenS[0].(Notify)
+	en, ok2 := elseS[0].(Notify)
+	if !ok1 || !ok2 || tn.ID != en.ID || tn.Value == en.Value {
+		return false
+	}
+	cmp, ok := t.Test.(Cmp)
 	if !ok {
-		if c, has := m.lib.FuncCost(e.fn); has {
-			fc = c
-		} else {
-			fc = m.cm.CallBase
+		return false
+	}
+	var slot int32
+	var imm int64
+	var shapeVI bool
+	if v, okV := cmp.L.(Var); okV {
+		k, okC := cmp.R.(IntConst)
+		if !okC {
+			return false
 		}
-		m.costCache[e.fn] = fc
+		slot, imm, shapeVI = int32(c.slot(v.Name)), k.Value, true
+	} else if k, okC := cmp.L.(IntConst); okC {
+		v, okV := cmp.R.(Var)
+		if !okV {
+			return false
+		}
+		slot, imm, shapeVI = int32(c.slot(v.Name)), k.Value, false
+	} else {
+		return false
 	}
-	m.cost += fc
-	return v, nil
-}
-
-func (e cBin) eval(m *cMachine) (int64, error) {
-	l, err := e.l.eval(m)
-	if err != nil {
-		return 0, err
-	}
-	r, err := e.r.eval(m)
-	if err != nil {
-		return 0, err
-	}
-	m.cost += m.cm.Arith
-	switch e.op {
-	case Add:
-		return l + r, nil
-	case Sub:
-		return l - r, nil
+	negate := !tn.Value // note value is ¬test when the then-arm notifies false
+	var op vmOp
+	switch {
+	case cmp.Op == Lt && shapeVI:
+		op = vNtLtVI // v < k
+		if negate {
+			op = vNtLeIV // ¬(v<k) ⇔ k≤v
+		}
+	case cmp.Op == Lt && !shapeVI:
+		op = vNtLtIV // k < v
+		if negate {
+			op = vNtLeVI // ¬(k<v) ⇔ v≤k
+		}
+	case cmp.Op == Le && shapeVI:
+		op = vNtLeVI // v ≤ k
+		if negate {
+			op = vNtLtIV // ¬(v≤k) ⇔ k<v
+		}
+	case cmp.Op == Le && !shapeVI:
+		op = vNtLeIV // k ≤ v
+		if negate {
+			op = vNtLtVI // ¬(k≤v) ⇔ v<k
+		}
+	case cmp.Op == Eq:
+		op = vNtEqVI
+		if negate {
+			op = vNtNeVI
+		}
 	default:
-		return l * r, nil
+		return false
 	}
+	c.emit(instr{op: op, a: int32(c.noteSlot(tn.ID)), c: slot, imm: imm})
+	return true
 }
 
-func (e cBoolConst) evalB(m *cMachine) (bool, error) {
-	m.cost += m.cm.BoolConst
-	return e.v, nil
+// tryFuseCmpJmp emits a fused test-and-branch for Var/IntConst comparison
+// shapes. Operand evaluation order (left before right) is preserved so
+// unbound-variable errors surface in the interpreter's order.
+func (c *Compiled) tryFuseCmpJmp(t Cmp) (int, bool) {
+	lv, lVar := t.L.(Var)
+	lc, lConst := t.L.(IntConst)
+	rv, rVar := t.R.(Var)
+	rc, rConst := t.R.(IntConst)
+	switch {
+	case lVar && rConst:
+		op := vJFLtVI
+		switch t.Op {
+		case Eq:
+			op = vJFEqVI
+		case Le:
+			op = vJFLeVI
+		}
+		return c.emit(instr{op: op, a: int32(c.slot(lv.Name)), imm: rc.Value}), true
+	case lConst && rVar:
+		op := vJFLtIV
+		switch t.Op {
+		case Eq:
+			op = vJFEqVI // equality is symmetric
+		case Le:
+			op = vJFLeIV
+		}
+		return c.emit(instr{op: op, a: int32(c.slot(rv.Name)), imm: lc.Value}), true
+	case lVar && rVar:
+		op := vJFLtVV
+		switch t.Op {
+		case Eq:
+			op = vJFEqVV
+		case Le:
+			op = vJFLeVV
+		}
+		return c.emit(instr{op: op, a: int32(c.slot(lv.Name)), c: int32(c.slot(rv.Name))}), true
+	}
+	return 0, false
 }
 
-func (e cCmp) evalB(m *cMachine) (bool, error) {
-	l, err := e.l.eval(m)
-	if err != nil {
-		return false, err
-	}
-	r, err := e.r.eval(m)
-	if err != nil {
-		return false, err
-	}
-	m.cost += m.cm.Cmp
-	switch e.op {
-	case Lt:
-		return l < r, nil
-	case Eq:
-		return l == r, nil
+// lowerInt emits code leaving e's value in register base, using registers
+// base+1.. for subexpression temporaries (stack discipline keeps call
+// arguments contiguous, so vCall passes a register-file subslice straight
+// to the library with no per-call argument buffer).
+func (c *Compiled) lowerInt(e IntExpr, base int) error {
+	c.useRegs(base + 1)
+	switch t := e.(type) {
+	case IntConst:
+		c.emit(instr{op: vIntConst, a: int32(base), imm: t.Value})
+	case Var:
+		c.emit(instr{op: vLoad, a: int32(base), b: int32(c.slot(t.Name))})
+	case Call:
+		for i, a := range t.Args {
+			if err := c.lowerInt(a, base+i); err != nil {
+				return err
+			}
+		}
+		c.emit(instr{
+			op: vCall, a: int32(base),
+			b: int32(c.funcIndex(t.Func)), c: int32(base),
+			imm: int64(len(t.Args)),
+		})
+	case BinInt:
+		if err := c.lowerInt(t.L, base); err != nil {
+			return err
+		}
+		if err := c.lowerInt(t.R, base+1); err != nil {
+			return err
+		}
+		op := vAdd
+		switch t.Op {
+		case Sub:
+			op = vSub
+		case Mul:
+			op = vMul
+		}
+		c.emit(instr{op: op, a: int32(base), b: int32(base), c: int32(base + 1)})
 	default:
-		return l <= r, nil
+		return fmt.Errorf("lang: cannot compile int expression %T", e)
 	}
+	return nil
 }
 
-func (e cNot) evalB(m *cMachine) (bool, error) {
-	v, err := e.e.evalB(m)
-	if err != nil {
-		return false, err
+// lowerBool is lowerInt for boolean expressions; booleans live in integer
+// registers as 0/1.
+func (c *Compiled) lowerBool(e BoolExpr, base int) error {
+	c.useRegs(base + 1)
+	switch t := e.(type) {
+	case BoolConst:
+		var imm int64
+		if t.Value {
+			imm = 1
+		}
+		c.emit(instr{op: vBoolConst, a: int32(base), imm: imm})
+	case Cmp:
+		if err := c.lowerInt(t.L, base); err != nil {
+			return err
+		}
+		if err := c.lowerInt(t.R, base+1); err != nil {
+			return err
+		}
+		op := vLt
+		switch t.Op {
+		case Eq:
+			op = vEq
+		case Le:
+			op = vLe
+		}
+		c.emit(instr{op: op, a: int32(base), b: int32(base), c: int32(base + 1)})
+	case Not:
+		if err := c.lowerBool(t.E, base); err != nil {
+			return err
+		}
+		c.emit(instr{op: vNot, a: int32(base), b: int32(base)})
+	case BinBool:
+		// Figure 2 evaluates both operands (no short circuit), so the
+		// merged and original programs are charged alike; the lowering is
+		// straight-line on purpose.
+		if err := c.lowerBool(t.L, base); err != nil {
+			return err
+		}
+		if err := c.lowerBool(t.R, base+1); err != nil {
+			return err
+		}
+		op := vAnd
+		if t.Op == Or {
+			op = vOr
+		}
+		c.emit(instr{op: op, a: int32(base), b: int32(base), c: int32(base + 1)})
+	default:
+		return fmt.Errorf("lang: cannot compile bool expression %T", e)
 	}
-	m.cost += m.cm.Neg
-	return !v, nil
-}
-
-func (e cBinBool) evalB(m *cMachine) (bool, error) {
-	l, err := e.l.evalB(m)
-	if err != nil {
-		return false, err
-	}
-	r, err := e.r.evalB(m)
-	if err != nil {
-		return false, err
-	}
-	m.cost += m.cm.BoolOp
-	if e.op == And {
-		return l && r, nil
-	}
-	return l || r, nil
+	return nil
 }

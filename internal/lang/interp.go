@@ -52,6 +52,15 @@ func (l *MapLibrary) FuncCost(name string) (int64, bool) {
 	return f.cost, true
 }
 
+// Resolve implements DirectCaller.
+func (l *MapLibrary) Resolve(name string) (func(args []int64) (int64, error), bool) {
+	f, ok := l.funcs[name]
+	if !ok {
+		return nil, false
+	}
+	return f.fn, true
+}
+
 // Env maps variables (parameters and locals) to integer values.
 type Env map[string]int64
 

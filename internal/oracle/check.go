@@ -39,6 +39,11 @@ const (
 	// hashes interner-independent, or a round-trip through FormulaOf
 	// changed the formula.
 	CheckIntern = "interner"
+	// CheckExec: the bytecode VM diverged from the tree-walking
+	// interpreter — different verdicts, total cost, per-notification
+	// stamps, or error behaviour on the same program and input, under the
+	// default or a custom cost model.
+	CheckExec = "executor"
 	// CheckErr marks infrastructure failures (consolidation or
 	// interpretation errored, registry rejected a program) — not a
 	// property violation, but still a bug in generator or system.
@@ -83,6 +88,136 @@ func run(lib lang.Library, p *lang.Program, in []int64) (*lang.Result, error) {
 	interp := lang.NewInterp(lib)
 	interp.MaxSteps = maxInterpSteps
 	return interp.Run(p, in)
+}
+
+// execModels are the cost models the executor check runs under: the
+// default, and a model whose every weight differs from the default (distinct
+// primes), so an opcode charging any wrong cost component diverges from the
+// interpreter immediately. nil selects the default in both executors.
+var execModels = []*lang.CostModel{
+	nil,
+	{IntConst: 2, BoolConst: 3, Var: 5, Arith: 7, Cmp: 11,
+		Neg: 13, BoolOp: 17, Assign: 19, Notify: 23, Branch: 29, CallBase: 31},
+}
+
+// diffExecutors runs p on in through both executors under cm and reports
+// the first divergence: error presence, exact error strings, notification
+// environments, total cost, or per-notification cost stamps.
+func diffExecutors(b *Batch, lib lang.Library, p *lang.Program, cm *lang.CostModel, in []int64, label string) *Failure {
+	interp := lang.NewInterp(lib)
+	interp.MaxSteps = maxInterpSteps
+	if cm != nil {
+		interp.CM = cm
+	}
+	want, errI := interp.Run(p, in)
+
+	comp, err := lang.Compile(p)
+	if err != nil {
+		return failf(CheckErr, b, "%s: compile %s: %v", label, p.Name, err)
+	}
+	var opts []lang.RunnerOption
+	if cm != nil {
+		opts = append(opts, lang.WithCostModel(cm))
+	}
+	rn := lang.NewRunner(comp, lib, opts...)
+	rn.MaxSteps = maxInterpSteps
+	notes, stamps, cost, errV := rn.Run(in)
+
+	fail := func(format string, args ...any) *Failure {
+		f := failf(CheckExec, b, "%s: %s on %v: %s", label, p.Name, in, fmt.Sprintf(format, args...))
+		f.Input = in
+		return f
+	}
+	if (errI == nil) != (errV == nil) {
+		return fail("error divergence: interp %v, vm %v", errI, errV)
+	}
+	if errI != nil {
+		if errI.Error() != errV.Error() {
+			return fail("error strings diverge: interp %q, vm %q", errI, errV)
+		}
+		return nil
+	}
+	if !want.Notes.Equal(notes) {
+		return fail("notes diverge: interp %v, vm %v", want.Notes, notes)
+	}
+	if want.Cost != cost {
+		return fail("cost diverges: interp %d, vm %d", want.Cost, cost)
+	}
+	if len(want.NoteCosts) != len(stamps) {
+		return fail("stamp sets diverge: interp %v, vm %v", want.NoteCosts, stamps)
+	}
+	for id, c := range want.NoteCosts {
+		if stamps[id] != c {
+			return fail("stamp[%d] diverges: interp %d, vm %d", id, c, stamps[id])
+		}
+	}
+	return nil
+}
+
+// execErrorPrograms exercise the executor error paths the generator rarely
+// produces: an unbound variable read (plain, and through fused test and
+// cond-notify shapes), a duplicate notification, and a runaway loop.
+var execErrorPrograms = []string{
+	`func xe0(r) { x := mystery + 1; notify 0 (x > 0); }`,
+	`func xe1(r) { if (mystery < 5) { notify 0 true; } else { notify 0 false; } }`,
+	`func xe2(r) { notify 0 true; notify 0 false; }`,
+	`func xe3(r) { i := 0; while (0 <= i) { i := i + 1; } notify 0 true; }`,
+}
+
+// CheckExecutor holds the bytecode VM to the tree-walking interpreter on
+// the batch's originals, its consolidated program, and fixed error-path
+// programs — under the default cost model and a custom one — demanding
+// byte-identical verdicts, total costs, per-notification stamps, and error
+// strings. nil means the executors agree everywhere.
+func CheckExecutor(b *Batch) *Failure {
+	lib := Lib()
+	merged, _, err := consolidate.All(b.Progs, consolidate.Options{}, true, false)
+	if err != nil {
+		return failf(CheckErr, b, "consolidation: %v", err)
+	}
+	for _, cm := range execModels {
+		label := "default-model"
+		if cm != nil {
+			label = "custom-model"
+		}
+		for _, in := range b.Inputs {
+			for _, p := range b.Progs {
+				if f := diffExecutors(b, lib, p, cm, in, label); f != nil {
+					return f
+				}
+			}
+			if f := diffExecutors(b, lib, merged, cm, in, label); f != nil {
+				return f
+			}
+		}
+	}
+	// Error paths: both executors must fail identically, including under a
+	// tight step bound.
+	for _, src := range execErrorPrograms {
+		p := lang.MustParse(src)
+		for _, cm := range execModels {
+			interp := lang.NewInterp(lib)
+			interp.MaxSteps = 50
+			if cm != nil {
+				interp.CM = cm
+			}
+			_, errI := interp.Run(p, []int64{1})
+			var opts []lang.RunnerOption
+			if cm != nil {
+				opts = append(opts, lang.WithCostModel(cm))
+			}
+			rn := lang.NewRunner(lang.MustCompile(p), lib, opts...)
+			rn.MaxSteps = 50
+			_, _, _, errV := rn.Run([]int64{1})
+			if errI == nil || errV == nil {
+				return failf(CheckExec, b, "error program %s: expected both executors to fail, interp %v, vm %v", p.Name, errI, errV)
+			}
+			if errI.Error() != errV.Error() {
+				return failf(CheckExec, b, "error program %s: strings diverge: interp %q, vm %q", p.Name, errI, errV)
+			}
+		}
+	}
+	return nil
 }
 
 // CheckConsolidation consolidates the batch twice (serial and parallel

@@ -15,7 +15,11 @@ func FuzzConsolidateEquivalence(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64, mix byte) {
 		opts := DefaultGenOptions()
 		opts.Mix = Mix(mix % 3)
-		if fail := CheckConsolidation(Generate(seed, opts)); fail != nil {
+		b := Generate(seed, opts)
+		if fail := CheckConsolidation(b); fail != nil {
+			t.Fatal(fail)
+		}
+		if fail := CheckExecutor(b); fail != nil {
 			t.Fatal(fail)
 		}
 	})

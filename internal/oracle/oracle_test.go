@@ -121,6 +121,9 @@ func TestOracleCorpus(t *testing.T) {
 		if f := CheckConsolidation(b); f != nil {
 			t.Fatal(f)
 		}
+		if f := CheckExecutor(b); f != nil {
+			t.Fatal(f)
+		}
 		if i%4 == 0 {
 			rb := Generate(seed, registryGenOptions(opts))
 			if f := CheckRegistry(rb, 5); f != nil {

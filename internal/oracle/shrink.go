@@ -31,6 +31,8 @@ func Shrink(f *Failure, budget int) *Failure {
 		rerun = func(b *Batch) *Failure { return CheckRegistry(b, events) }
 	case CheckDef1, CheckCost, CheckDeterminism, CheckErr:
 		rerun = CheckConsolidation
+	case CheckExec:
+		rerun = CheckExecutor
 	default:
 		return f
 	}
