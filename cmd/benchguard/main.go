@@ -22,6 +22,15 @@
 // trips on a lost superinstruction or a re-introduced per-record
 // allocation, not on a noisy neighbour.
 //
+// When the baseline additionally carries a "latency_filtered" object (a
+// cmd/latency -json -selectivity run) and a fresh run is supplied via
+// -latfiltered, the same throughput gate is applied to the pre-filtered
+// path, plus two structural checks that do not depend on the runner at
+// all: the synthesized admission guard must be non-trivial and must
+// actually reject records. Those trip when guard synthesis silently
+// degrades to ⊤ — the filtered path then still agrees, but the
+// predicate-pushdown win is gone.
+//
 // Abstract cost, merged program size, and query counts are deterministic
 // for a fixed (seed, scale, count) configuration, so tol exists only as a
 // safety margin for intentional small shifts; genuine regressions blow
@@ -48,9 +57,10 @@ import (
 )
 
 var (
-	flagBaseline   = flag.String("baseline", "BENCH_pr6.json", "committed baseline file (object with a summaries array)")
-	flagCurrent    = flag.String("current", "", "comma-separated JSON-lines files from cmd/figure9 -json / cmd/figure10 -json")
-	flagLatCurrent = flag.String("latcurrent", "", "JSON file from cmd/latency -json for the throughput gate (requires a latency baseline)")
+	flagBaseline    = flag.String("baseline", "BENCH_pr7.json", "committed baseline file (object with a summaries array)")
+	flagCurrent     = flag.String("current", "", "comma-separated JSON-lines files from cmd/figure9 -json / cmd/figure10 -json")
+	flagLatCurrent  = flag.String("latcurrent", "", "JSON file from cmd/latency -json for the throughput gate (requires a latency baseline)")
+	flagLatFiltered = flag.String("latfiltered", "", "JSON file from cmd/latency -json -selectivity for the pre-filtered throughput gate (requires a latency_filtered baseline)")
 	flagTol        = flag.Float64("tol", 0.02, "relative tolerance before a drift counts as a regression")
 	flagWallTol    = flag.Float64("walltol", 1.0, "relative tolerance for consolidation wall clock (0 disables the wall-clock gate)")
 	flagThrTol     = flag.Float64("thrtol", 0.5, "relative tolerance for per-record throughput (0 disables the throughput gate)")
@@ -62,6 +72,10 @@ var (
 type baselineFile struct {
 	Summaries []bench.Summary       `json:"summaries"`
 	Latency   *bench.LatencySummary `json:"latency"`
+	// LatencyFiltered is the cmd/latency -selectivity baseline: the same
+	// configuration as Latency but with the queries gated on a cheap
+	// record field, exercising the admission pre-filter's fast path.
+	LatencyFiltered *bench.LatencySummary `json:"latency_filtered"`
 }
 
 func key(s bench.Summary) string {
@@ -160,30 +174,52 @@ func main() {
 			k, c.CostSpeedup, b.CostSpeedup, c.MergedSize, c.SMTQueries)
 	}
 	if *flagLatCurrent != "" {
-		if base.Latency == nil {
-			failf("%s has no latency baseline for -latcurrent", *flagBaseline)
-		} else if cur, err := readLatency(*flagLatCurrent); err != nil {
-			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-			os.Exit(2)
-		} else {
-			b, k := base.Latency, fmt.Sprintf("%s/%s/n=%d (latency)", base.Latency.Domain, base.Latency.Family, base.Latency.NumUDFs)
-			if !cur.Agree {
-				failf("%s: consolidated and sequential operators disagree", k)
-			}
-			if tt := *flagThrTol; tt > 0 && b.ConsRecordsPerSec > 0 && cur.ConsRecordsPerSec < b.ConsRecordsPerSec*(1-tt) {
-				failf("%s: consolidated throughput %.0f rec/s fell below baseline %.0f rec/s (−%.0f%% allowed)",
-					k, cur.ConsRecordsPerSec, b.ConsRecordsPerSec, tt*100)
-			} else {
-				fmt.Printf("ok   %s: cons throughput %.0f rec/s (baseline %.0f rec/s)\n",
-					k, cur.ConsRecordsPerSec, b.ConsRecordsPerSec)
-			}
-		}
+		gateLatency(*flagLatCurrent, base.Latency, "latency", false, failf)
+	}
+	if *flagLatFiltered != "" {
+		gateLatency(*flagLatFiltered, base.LatencyFiltered, "latency_filtered", true, failf)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s) vs %s\n", failures, *flagBaseline)
 		os.Exit(1)
 	}
 	fmt.Printf("benchguard: %d configuration(s) within %.0f%% of %s\n", len(base.Summaries), tol*100, *flagBaseline)
+}
+
+// gateLatency holds one cmd/latency -json run to its baseline object:
+// operator agreement always, the loose per-record throughput bound when
+// -thrtol is on, and — for the pre-filtered configuration — the
+// structural guard checks (non-trivial, actually rejecting), which are
+// machine-independent.
+func gateLatency(path string, b *bench.LatencySummary, kind string, filtered bool, failf func(string, ...any)) {
+	if b == nil {
+		failf("baseline has no %q object for this gate", kind)
+		return
+	}
+	cur, err := readLatency(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	k := fmt.Sprintf("%s/%s/n=%d (%s)", b.Domain, b.Family, b.NumUDFs, kind)
+	if !cur.Agree {
+		failf("%s: consolidated and sequential operators disagree", k)
+	}
+	if filtered {
+		if cur.GuardTrivial {
+			failf("%s: admission guard degraded to trivial — predicate pushdown is gone", k)
+		}
+		if cur.Rejected == 0 {
+			failf("%s: guard rejected no records on a %.2f%%-selectivity workload", k, cur.Selectivity*100)
+		}
+	}
+	if tt := *flagThrTol; tt > 0 && b.ConsRecordsPerSec > 0 && cur.ConsRecordsPerSec < b.ConsRecordsPerSec*(1-tt) {
+		failf("%s: consolidated throughput %.0f rec/s fell below baseline %.0f rec/s (−%.0f%% allowed)",
+			k, cur.ConsRecordsPerSec, b.ConsRecordsPerSec, tt*100)
+	} else {
+		fmt.Printf("ok   %s: cons throughput %.0f rec/s (baseline %.0f rec/s)\n",
+			k, cur.ConsRecordsPerSec, b.ConsRecordsPerSec)
+	}
 }
 
 // readLatency parses one cmd/latency -json output object.

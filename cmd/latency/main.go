@@ -14,9 +14,15 @@
 // wall time inside UDF evaluation) plus the latency headline — the input
 // to benchguard's throughput regression gate.
 //
+// With -selectivity s < 1 the generated queries are gated on a cheap
+// record field (twitter's followerCount) so that only an s-fraction of
+// records can notify at all; this is the workload where the engine's
+// SMT-synthesized admission pre-filter pays off, and the summary then
+// reports the guard's admitted/rejected counts next to the throughputs.
+//
 // Usage:
 //
-//	latency [-domain twitter] [-family Q2] [-n 10] [-scale 0.02] [-seed 1] [-json]
+//	latency [-domain twitter] [-family Q2] [-n 10] [-scale 0.02] [-seed 1] [-selectivity 0.01] [-json]
 package main
 
 import (
@@ -39,6 +45,7 @@ var (
 	flagN      = flag.Int("n", 10, "number of queries")
 	flagScale  = flag.Float64("scale", 0.02, "dataset scale")
 	flagSeed   = flag.Int64("seed", 1, "workload seed")
+	flagSel    = flag.Float64("selectivity", 1, "gate queries on a cheap record field so ~this fraction of records can notify (1 = ungated)")
 	flagJSON   = flag.Bool("json", false, "emit a bench.LatencySummary object instead of the table")
 )
 
@@ -51,6 +58,16 @@ func main() {
 	udfs, err := queries.Gen(*flagDomain, *flagFamily, *flagN, 100+*flagSeed)
 	if err != nil {
 		fatal(err)
+	}
+	if *flagSel < 1 {
+		if *flagSel <= 0 {
+			fatal(fmt.Errorf("-selectivity must be in (0, 1]"))
+		}
+		q, ok := ds.(interface{ FollowerQuantile(p float64) int64 })
+		if !ok {
+			fatal(fmt.Errorf("domain %q has no cheap gating field; -selectivity supports twitter", *flagDomain))
+		}
+		udfs = queries.Selective(udfs, "followerCount", q.FollowerQuantile, *flagSel, 100+*flagSeed)
 	}
 	many, err := engine.WhereMany(ds, udfs, engine.Options{})
 	if err != nil {
@@ -77,6 +94,12 @@ func main() {
 		}
 	}
 
+	trivial := cons.Guard == nil || cons.Guard.Trivial
+	measured := 1.0
+	if n := cons.Metrics.Admitted + cons.Metrics.Rejected; n > 0 {
+		measured = float64(cons.Metrics.Admitted) / float64(n)
+	}
+
 	if *flagJSON {
 		s := bench.LatencySummary{
 			Domain:            *flagDomain,
@@ -88,7 +111,16 @@ func main() {
 			ManyUDFMillis:     float64(many.UDFTime) / float64(time.Millisecond),
 			ConsUDFMillis:     float64(cons.UDFTime) / float64(time.Millisecond),
 			WorseQueries:      worse,
-			Agree:             agree,
+
+			Selectivity:         *flagSel,
+			Admitted:            cons.Metrics.Admitted,
+			Rejected:            cons.Metrics.Rejected,
+			MeasuredSelectivity: measured,
+			GuardTrivial:        trivial,
+			GuardCost:           cons.Metrics.GuardCost,
+			PrefilterMS:         float64(cons.PrefilterTime) / float64(time.Millisecond),
+
+			Agree: agree,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		if err := enc.Encode(s); err != nil {
@@ -116,6 +148,13 @@ func main() {
 	fmt.Printf("\nqueries with increased latency: %d of %d\n", worse, *flagN)
 	fmt.Println("completion (max over queries):",
 		fmt.Sprintf("whereMany %.1f, whereConsolidated %.1f", maxLat(&many.Metrics), maxLat(&cons.Metrics)))
+	if trivial {
+		fmt.Println("pre-filter: trivial guard (stage skipped)")
+	} else {
+		fmt.Printf("pre-filter: admitted %d / rejected %d (measured selectivity %.2f%%), guard cost %d, synthesis %s\n",
+			cons.Metrics.Admitted, cons.Metrics.Rejected, measured*100,
+			cons.Guard.Cost, cons.PrefilterTime.Round(time.Microsecond))
+	}
 	cs := cons.Multi.Cache
 	fmt.Printf("SMT cache: %d queries, hit-rate %.1f%% (%d/%d lookups), %d entries, %d evictions\n",
 		cons.Multi.SMTQueries, cons.Multi.CacheHitRate()*100,

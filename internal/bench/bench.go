@@ -312,6 +312,20 @@ type LatencySummary struct {
 	// latency increased under consolidation (Section 8's caveat).
 	WorseQueries int `json:"worse_queries"`
 
+	// Pre-filter stage (predicate pushdown ahead of the merged VM).
+	// Selectivity is the requested admitted fraction (1 = ungated
+	// workload); Admitted/Rejected are the consolidated operator's guard
+	// verdict counts, and MeasuredSelectivity = Admitted/Records. A
+	// trivial guard means synthesis found no cheap necessary condition
+	// and the stage was skipped entirely.
+	Selectivity         float64 `json:"selectivity"`
+	Admitted            int     `json:"admitted"`
+	Rejected            int     `json:"rejected"`
+	MeasuredSelectivity float64 `json:"measured_selectivity"`
+	GuardTrivial        bool    `json:"guard_trivial"`
+	GuardCost           int64   `json:"guard_cost"`
+	PrefilterMS         float64 `json:"prefilter_ms"`
+
 	Agree bool `json:"agree"`
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"consolidation/internal/lang"
+	"consolidation/internal/prefilter"
 	"consolidation/internal/smt"
 )
 
@@ -261,7 +262,13 @@ func addStats(dst *Stats, s Stats) {
 // of their costs. It returns a descriptive error on the first violation.
 // The merged program is additionally run through the bytecode VM — the
 // executor the engine actually uses — which must agree with the
-// interpreter on notes, total cost, and per-notification stamps.
+// interpreter on notes, total cost, and per-notification stamps. The
+// engine also interposes a synthesized admission pre-filter ahead of the
+// merged VM, so Verify replays that path too: it synthesizes the guard
+// with the fragment opened wide (the strongest guard the projection can
+// produce) and holds it to its soundness contract on every input — a
+// rejected input must produce no true notification from the merged
+// program.
 //
 // When the originals were consolidated with renumbering, pass ids mapping
 // each original's position to its notification id (nil means identity of
@@ -276,6 +283,15 @@ func Verify(origs []*lang.Program, merged *lang.Program, lib lang.Library, cm *l
 		ropts = append(ropts, lang.WithCostModel(cm))
 	}
 	runner := lang.NewRunner(mergedC, lib, ropts...)
+	guard := prefilter.Synthesize(merged, prefilter.Options{
+		Coster:      lib,
+		CostModel:   cm,
+		MaxCallCost: 1 << 30, // admit every call into the fragment: strongest guard, strongest check
+	})
+	var guardRunner *lang.Runner
+	if !guard.Trivial {
+		guardRunner = lang.NewRunner(guard.Compiled, lib, ropts...)
+	}
 	for _, in := range inputs {
 		var sumCost int64
 		want := lang.Notifications{}
@@ -327,6 +343,18 @@ func Verify(origs []*lang.Program, merged *lang.Program, lib lang.Library, cm *l
 		for id, c := range res.NoteCosts {
 			if vmStamps[id] != c {
 				return fmt.Errorf("vm: input %v: notification %d stamped %d, interp %d", in, id, vmStamps[id], c)
+			}
+		}
+		// Pre-filtered path: the guard is a necessary condition for any
+		// notification, so an input it rejects must have notified nothing.
+		// A guard runtime error admits the record (the engine fails open).
+		if guardRunner != nil {
+			if _, gerr := guardRunner.RunDense(in); gerr == nil && !guard.Admits(guardRunner) {
+				for id, v := range res.Notes {
+					if v {
+						return fmt.Errorf("prefilter: input %v rejected by guard %s but notification %d fired", in, guard.Formula, id)
+					}
+				}
 			}
 		}
 	}

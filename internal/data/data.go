@@ -75,3 +75,13 @@ func decodeInts(s string, dst []int64) []int64 {
 }
 
 func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// splitmix64 is a stateless mixer for derived columns that must not perturb
+// a generator's rand stream (adding such a column keeps every previously
+// generated record byte-identical).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -2,6 +2,7 @@ package data
 
 import (
 	"fmt"
+	"sort"
 
 	"consolidation/internal/engine"
 )
@@ -28,14 +29,18 @@ const (
 
 // Twitter is the tweet dataset: one record per tweet, stored as a token
 // stream. Smiley counting and sentiment/topic scoring scan the tokens,
-// mirroring the string analysis the paper's UDFs perform.
+// mirroring the string analysis the paper's UDFs perform. Tweet metadata
+// (language, author follower count) is additionally kept in columnar form,
+// so the cheap accessors answer from a column load without decoding the
+// token stream — the storage-layer shape predicate pushdown exploits.
 //
 // Library functions:
 //
 //	smileyCount(r)       — number of smiley tokens
 //	sentimentScore(r, s) — affinity of the tweet with sentiment s (0-based)
 //	topicScore(r, t)     — affinity of the tweet with topic t (0-based)
-//	languageOf(r)        — language id (0..2)
+//	languageOf(r)        — language id (0..2); columnar, lite-safe
+//	followerCount(r)     — author follower count; columnar, lite-safe
 type Twitter struct {
 	cfg     TwitterConfig
 	encoded []string // per-tweet "lang|tok,tok,…"
@@ -50,9 +55,18 @@ type Twitter struct {
 	sentTab  []int8
 	topicTab []int8
 
-	curLang int64
-	cur     []int64
-	ok      bool
+	// langs/followers are read-only metadata columns shared across clones;
+	// sortedFollowers supports FollowerQuantile.
+	langs           []int64
+	followers       []int64
+	sortedFollowers []int64
+
+	// curIdx is the selected record (−1 when none); valid after either
+	// SetRecord or SetRecordLite. The token fields below are valid only
+	// after a full SetRecord (ok == true).
+	curIdx int
+	cur    []int64
+	ok     bool
 }
 
 // Token-space layout: ids below smileyBase are words; [smileyBase,
@@ -73,7 +87,9 @@ func GenTwitter(cfg TwitterConfig) *Twitter {
 			"sentimentScore": 150,
 			"topicScore":     150,
 			"languageOf":     4,
+			"followerCount":  4,
 		},
+		curIdx: -1,
 	}
 	for i := 0; i < cfg.Tweets; i++ {
 		langID := int64(rng.Intn(TwitterLanguages))
@@ -87,7 +103,17 @@ func GenTwitter(cfg TwitterConfig) *Twitter {
 			}
 		}
 		t.encoded = append(t.encoded, encodeInts([]int64{langID})+"|"+encodeInts(toks))
+		t.langs = append(t.langs, langID)
+		// Follower counts come from a seeded hash, not the rng stream, so
+		// adding the column leaves every previously generated record (and
+		// every downstream verdict) byte-identical. Squaring a uniform draw
+		// gives the heavy-tailed shape follower graphs have.
+		u := splitmix64(uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(i) + 1)
+		v := int64(u % (1 << 20))
+		t.followers = append(t.followers, (v*v)>>20)
 	}
+	t.sortedFollowers = append([]int64(nil), t.followers...)
+	sort.Slice(t.sortedFollowers, func(a, b int) bool { return t.sortedFollowers[a] < t.sortedFollowers[b] })
 	const ntok = twitterVocab + smileyKinds
 	t.sentTab = make([]int8, ntok*TwitterSentiments)
 	t.topicTab = make([]int8, ntok*TwitterTopics)
@@ -112,16 +138,48 @@ func (t *Twitter) SetRecord(i int) {
 	for raw[sep] != '|' {
 		sep++
 	}
-	hdr := decodeInts(raw[:sep], nil)
-	t.curLang = hdr[0]
 	t.cur = decodeInts(raw[sep+1:], t.cur)
+	t.curIdx = i
 	t.ok = true
+}
+
+// SetRecordLite implements engine.LiteRecordLibrary: it selects the record
+// for the columnar metadata accessors without decoding the token stream.
+// Functions priced above LiteCostBound keep failing until a full SetRecord.
+func (t *Twitter) SetRecordLite(i int) {
+	t.curIdx = i
+	t.ok = false
+}
+
+// LiteCostBound implements engine.LiteRecordLibrary: languageOf and
+// followerCount (cost 4) answer from columns and are valid after
+// SetRecordLite; the token-scanning functions (cost ≥ 80) are not.
+func (t *Twitter) LiteCostBound() int64 { return 8 }
+
+// FollowerQuantile returns the smallest follower count f such that at least
+// a p fraction of tweets have followerCount ≤ f; workload generators use it
+// to calibrate admission-clause selectivity.
+func (t *Twitter) FollowerQuantile(p float64) int64 {
+	n := len(t.sortedFollowers)
+	if n == 0 {
+		return 0
+	}
+	i := int(p * float64(n-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return t.sortedFollowers[i]
 }
 
 // Clone implements engine.RecordLibrary.
 func (t *Twitter) Clone() engine.RecordLibrary {
 	return &Twitter{cfg: t.cfg, encoded: t.encoded, costs: t.costs,
-		sentTab: t.sentTab, topicTab: t.topicTab}
+		sentTab: t.sentTab, topicTab: t.topicTab,
+		langs: t.langs, followers: t.followers, sortedFollowers: t.sortedFollowers,
+		curIdx: -1}
 }
 
 // FuncCost implements lang.FuncCoster.
@@ -189,10 +247,17 @@ func (t *Twitter) topicScore(args []int64) (int64, error) {
 }
 
 func (t *Twitter) languageOf(args []int64) (int64, error) {
-	if !t.ok {
+	if t.curIdx < 0 {
 		return 0, fmt.Errorf("data: twitter: no record selected")
 	}
-	return t.curLang, nil
+	return t.langs[t.curIdx], nil
+}
+
+func (t *Twitter) followerCount(args []int64) (int64, error) {
+	if t.curIdx < 0 {
+		return 0, fmt.Errorf("data: twitter: no record selected")
+	}
+	return t.followers[t.curIdx], nil
 }
 
 // Resolve implements lang.DirectCaller, binding call sites once so the VM
@@ -207,6 +272,8 @@ func (t *Twitter) Resolve(name string) (func(args []int64) (int64, error), bool)
 		return t.topicScore, true
 	case "languageOf":
 		return t.languageOf, true
+	case "followerCount":
+		return t.followerCount, true
 	}
 	return nil, false
 }

@@ -23,6 +23,8 @@ import (
 
 	"consolidation/internal/consolidate"
 	"consolidation/internal/lang"
+	"consolidation/internal/prefilter"
+	"consolidation/internal/smt"
 )
 
 // RecordLibrary is a dataset: a sequence of records plus the library
@@ -37,6 +39,20 @@ type RecordLibrary interface {
 	SetRecord(i int)
 	// Clone returns an independent view for another worker goroutine.
 	Clone() RecordLibrary
+}
+
+// LiteRecordLibrary is a dataset whose cheap columnar accessors work without
+// the full per-record decode: SetRecordLite selects a record for those
+// accessors only, at near-zero cost. The admission pre-filter uses it to
+// reject records before paying SetRecord.
+type LiteRecordLibrary interface {
+	RecordLibrary
+	// SetRecordLite selects a record for the lite-safe accessors without
+	// decoding it. Calling a non-lite function afterwards is an error.
+	SetRecordLite(i int)
+	// LiteCostBound returns the largest abstract cost of any lite-safe
+	// function; guard synthesis is restricted to calls priced within it.
+	LiteCostBound() int64
 }
 
 // Metrics summarises one operator execution.
@@ -60,6 +76,13 @@ type Metrics struct {
 	// discusses: consolidation optimises completion time and may trade
 	// individual-query latency for it.
 	LatencySum []int64
+	// Admitted and Rejected count the admission pre-filter's verdicts.
+	// Unfiltered passes admit every record.
+	Admitted int
+	Rejected int
+	// GuardCost is the summed abstract cost of guard evaluations; it is also
+	// included in UDFCost (the guard is part of the work the pass performs).
+	GuardCost int64
 }
 
 // MeanLatency returns the average notification latency of UDF q in cost
@@ -84,6 +107,12 @@ type Options struct {
 	Workers int
 	// MaxSteps guards against diverging UDFs; 0 disables the guard.
 	MaxSteps int64
+	// NoPrefilter disables admission pre-filter synthesis for consolidated
+	// passes; records then always run the full merged program.
+	NoPrefilter bool
+	// PrefilterCache, when set, backs the SMT queries of guard synthesis so
+	// repeated consolidations share validity verdicts.
+	PrefilterCache *smt.Cache
 }
 
 func (o Options) workers() int {
@@ -148,28 +177,29 @@ func WhereMany(data RecordLibrary, udfs []*lang.Program, opts Options) (*Result,
 			noteIdx[i], _ = c.NoteIndex(ids[i])
 		}
 		args := []int64{0}
-		return func(rec int, row []bool, lat []int64) (int64, time.Duration, error) {
-			var cost int64
-			var udfTime time.Duration
+		return func(rec int, row []bool, lat []int64) (evalOut, error) {
+			var out evalOut
+			out.admitted = true
+			lib.SetRecord(rec)
 			args[0] = int64(rec)
 			for q, rn := range runners {
 				t0 := time.Now()
 				c, err := rn.RunDense(args)
-				udfTime += time.Since(t0)
+				out.udfTime += time.Since(t0)
 				if err != nil {
-					return 0, 0, fmt.Errorf("engine: UDF %s on record %d: %w", udfs[q].Name, rec, err)
+					return evalOut{}, fmt.Errorf("engine: UDF %s on record %d: %w", udfs[q].Name, rec, err)
 				}
 				v, ok := rn.NoteAt(noteIdx[q])
 				if !ok {
-					return 0, 0, fmt.Errorf("engine: UDF %s did not notify id %d on record %d", udfs[q].Name, ids[q], rec)
+					return evalOut{}, fmt.Errorf("engine: UDF %s did not notify id %d on record %d", udfs[q].Name, ids[q], rec)
 				}
 				// Sequential execution: this UDF's notification waited for
 				// all earlier UDFs on this record.
-				lat[q] += cost + rn.NoteCostAt(noteIdx[q])
-				cost += c
+				lat[q] += out.cost + rn.NoteCostAt(noteIdx[q])
+				out.cost += c
 				row[q] = v
 			}
-			return cost, udfTime, nil
+			return out, nil
 		}
 	}, len(udfs))
 	if err != nil {
@@ -188,6 +218,11 @@ type ConsolidatedResult struct {
 	Multi           *consolidate.MultiStats
 	// Merged is the consolidated program actually executed.
 	Merged *lang.Program
+	// Guard is the synthesized admission pre-filter (nil with NoPrefilter;
+	// trivial guards are synthesized but not executed).
+	Guard *prefilter.Guard
+	// PrefilterTime is the time spent synthesizing the guard.
+	PrefilterTime time.Duration
 }
 
 // WhereConsolidated consolidates the UDFs into a single program (notify ids
@@ -216,6 +251,28 @@ func WhereConsolidated(data RecordLibrary, udfs []*lang.Program, copts consolida
 	if err != nil {
 		return nil, fmt.Errorf("engine: compiling consolidated program: %w", err)
 	}
+
+	// Synthesize the admission pre-filter: a sound necessary condition for
+	// any notification, restricted to calls the dataset can answer without a
+	// full record decode. Synthesis cannot fail — workloads whose notify
+	// conditions need only expensive calls get the trivial guard, and the
+	// filter stage is skipped entirely (byte-identical to the unfiltered
+	// pass). A non-trivial guard's calls are within LiteCostBound by
+	// construction (it was the synthesis fragment bound), so the guard can
+	// run after SetRecordLite.
+	var guard *prefilter.Guard
+	var prefTime time.Duration
+	if !opts.NoPrefilter {
+		t1 := time.Now()
+		popts := prefilter.Options{Coster: data, Cache: opts.PrefilterCache, CostModel: copts.CostModel}
+		if lite, ok := data.(LiteRecordLibrary); ok {
+			popts.MaxCallCost = lite.LiteCostBound()
+		}
+		guard = prefilter.Synthesize(merged, popts)
+		prefTime = time.Since(t1)
+	}
+	filtered := guard != nil && !guard.Trivial
+
 	start := time.Now()
 	res, err := runPass(data, opts, func(lib RecordLibrary) evalFn {
 		rn := lang.NewRunner(mergedC, lib)
@@ -231,24 +288,70 @@ func WhereConsolidated(data RecordLibrary, udfs []*lang.Program, copts consolida
 			}
 			noteIdx[q] = k
 		}
+		var grn *lang.Runner
+		var glite LiteRecordLibrary
+		if filtered {
+			grn = lang.NewRunner(guard.Compiled, lib)
+			glite, _ = lib.(LiteRecordLibrary)
+		}
 		args := []int64{0}
-		return func(rec int, row []bool, lat []int64) (int64, time.Duration, error) {
+		return func(rec int, row []bool, lat []int64) (evalOut, error) {
 			args[0] = int64(rec)
+			var out evalOut
+			out.admitted = true
+			if filtered {
+				if glite != nil {
+					glite.SetRecordLite(rec)
+				} else {
+					lib.SetRecord(rec)
+				}
+				t0 := time.Now()
+				gcost, gerr := grn.RunDense(args)
+				out.udfTime = time.Since(t0)
+				// A guard runtime error fails open: the record is admitted and
+				// the merged program decides (and surfaces its own error, if
+				// any). Guard cost still counts — the work happened.
+				if gerr == nil {
+					out.cost, out.guardCost = gcost, gcost
+					if !guard.Admits(grn) {
+						// Rejected: the guard is a necessary condition for
+						// every notification, so all verdicts are false. The
+						// notification ids must still all be broadcastable —
+						// the same structural check the full run performs.
+						for q, k := range noteIdx {
+							if k == -1 {
+								return evalOut{}, fmt.Errorf("engine: consolidated UDF missing notification %d on record %d", q, rec)
+							}
+							row[q] = false
+							lat[q] += grn.NoteCostAt(guard.NoteIdx)
+						}
+						out.admitted = false
+						return out, nil
+					}
+				}
+				if glite != nil {
+					// Admitted: pay the full decode now.
+					lib.SetRecord(rec)
+				}
+			} else {
+				lib.SetRecord(rec)
+			}
 			t0 := time.Now()
 			cost, err := rn.RunDense(args)
-			ut := time.Since(t0)
+			out.udfTime += time.Since(t0)
 			if err != nil {
-				return 0, 0, fmt.Errorf("engine: consolidated UDF on record %d: %w", rec, err)
+				return evalOut{}, fmt.Errorf("engine: consolidated UDF on record %d: %w", rec, err)
 			}
+			out.cost += cost
 			for q, k := range noteIdx {
 				v, ok := rn.NoteAt(k)
 				if !ok {
-					return 0, 0, fmt.Errorf("engine: consolidated UDF missing notification %d on record %d", q, rec)
+					return evalOut{}, fmt.Errorf("engine: consolidated UDF missing notification %d on record %d", q, rec)
 				}
 				row[q] = v
-				lat[q] += rn.NoteCostAt(k)
+				lat[q] += out.guardCost + rn.NoteCostAt(k)
 			}
-			return cost, ut, nil
+			return out, nil
 		}
 	}, len(udfs))
 	if err != nil {
@@ -256,12 +359,27 @@ func WhereConsolidated(data RecordLibrary, udfs []*lang.Program, copts consolida
 	}
 	res.TotalTime = time.Since(start)
 	finishMetrics(res, len(udfs))
-	return &ConsolidatedResult{Result: *res, ConsolidateTime: consTime, Multi: ms, Merged: merged}, nil
+	return &ConsolidatedResult{
+		Result: *res, ConsolidateTime: consTime, Multi: ms, Merged: merged,
+		Guard: guard, PrefilterTime: prefTime,
+	}, nil
 }
 
-// evalFn evaluates one record into a verdict row, returning (cost, udf
-// wall time).
-type evalFn func(rec int, row []bool, lat []int64) (int64, time.Duration, error)
+// evalOut reports one record evaluation: its total abstract cost (guard
+// included), the guard's share of it, wall time inside UDF/guard execution,
+// and whether the admission pre-filter admitted the record (unfiltered
+// passes admit everything).
+type evalOut struct {
+	cost      int64
+	guardCost int64
+	udfTime   time.Duration
+	admitted  bool
+}
+
+// evalFn selects and evaluates one record into a verdict row. Record
+// selection (SetRecord or SetRecordLite) is the evalFn's responsibility, so
+// a pre-filter stage can defer the full decode until a record is admitted.
+type evalFn func(rec int, row []bool, lat []int64) (evalOut, error)
 
 // runPass partitions records across workers; each worker owns a library
 // clone, compiled runners and a latency accumulator, and calls its evalFn
@@ -286,10 +404,12 @@ func runPass(data RecordLibrary, opts Options,
 		// done lets the surviving workers bail out between records once any
 		// worker has recorded firstErr; their partial metrics are discarded
 		// with the failed pass anyway.
-		done    atomic.Bool
-		cost    int64
-		udfTime time.Duration
-		latency = make([]int64, nUDFs)
+		done      atomic.Bool
+		cost      int64
+		guardCost int64
+		admitted  int
+		udfTime   time.Duration
+		latency   = make([]int64, nUDFs)
 	)
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -306,8 +426,9 @@ func runPass(data RecordLibrary, opts Options,
 			defer wg.Done()
 			lib := data.Clone()
 			eval := makeWorker(lib)
-			var localCost int64
+			var localCost, localGuard int64
 			var localTime time.Duration
+			localAdmitted := 0
 			localLat := make([]int64, nUDFs)
 			// One verdict-row backing array per worker: rows are retained in
 			// bools, so they can't share storage, but they can share one
@@ -317,10 +438,9 @@ func runPass(data RecordLibrary, opts Options,
 				if done.Load() {
 					return
 				}
-				lib.SetRecord(i)
 				off := (i - lo) * nUDFs
 				row := backing[off : off+nUDFs : off+nUDFs]
-				c, t, err := eval(i, row, localLat)
+				out, err := eval(i, row, localLat)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -331,11 +451,17 @@ func runPass(data RecordLibrary, opts Options,
 					return
 				}
 				bools[i] = row
-				localCost += c
-				localTime += t
+				localCost += out.cost
+				localGuard += out.guardCost
+				localTime += out.udfTime
+				if out.admitted {
+					localAdmitted++
+				}
 			}
 			mu.Lock()
 			cost += localCost
+			guardCost += localGuard
+			admitted += localAdmitted
 			udfTime += localTime
 			for q, v := range localLat {
 				latency[q] += v
@@ -348,8 +474,11 @@ func runPass(data RecordLibrary, opts Options,
 		return nil, firstErr
 	}
 	return &Result{
-		Bools:   bools,
-		Metrics: Metrics{Records: n, UDFs: nUDFs, UDFCost: cost, UDFTime: udfTime, LatencySum: latency},
+		Bools: bools,
+		Metrics: Metrics{
+			Records: n, UDFs: nUDFs, UDFCost: cost, UDFTime: udfTime, LatencySum: latency,
+			Admitted: admitted, Rejected: n - admitted, GuardCost: guardCost,
+		},
 	}, nil
 }
 

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"testing"
-	"time"
 
 	"consolidation/internal/consolidate"
 	"consolidation/internal/lang"
@@ -285,9 +284,10 @@ func TestRunPassRowAllocation(t *testing.T) {
 	d := &toyData{vals: make([]int64, records)}
 	allocs := testing.AllocsPerRun(5, func() {
 		res, err := runPass(d, Options{Workers: 1}, func(lib RecordLibrary) evalFn {
-			return func(rec int, row []bool, lat []int64) (int64, time.Duration, error) {
+			return func(rec int, row []bool, lat []int64) (evalOut, error) {
+				lib.SetRecord(rec)
 				row[rec%nUDFs] = true
-				return 1, 0, nil
+				return evalOut{cost: 1, admitted: true}, nil
 			}
 		}, nUDFs)
 		if err != nil {

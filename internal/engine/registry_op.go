@@ -29,10 +29,17 @@ type RegistryMetrics struct {
 	PendingRuns        int
 	SuppressedNotifies int
 	// UDFCost is the summed abstract cost (consolidated program plus
-	// verbatim pending queries).
+	// verbatim pending queries and guard evaluations).
 	UDFCost   int64
 	UDFTime   time.Duration
 	TotalTime time.Duration
+	// Admitted and Rejected count the admission guard's verdicts on the
+	// consolidated program (records served by generations without a
+	// non-trivial guard count as admitted). GuardCost is the guard's share
+	// of UDFCost.
+	Admitted  int
+	Rejected  int
+	GuardCost int64
 }
 
 // RegistryResult is the outcome of streaming a dataset through a live
@@ -85,6 +92,9 @@ func WhereRegistry(data RecordLibrary, src SnapshotSource, opts Options) (*Regis
 			out.Swaps++
 			// Drop runners for programs the new generation no longer runs.
 			keep := map[*lang.Compiled]bool{s.Compiled: true}
+			if s.Guard != nil && s.Guard.Compiled != nil {
+				keep[s.Guard.Compiled] = true
+			}
 			for _, p := range s.Pending {
 				keep[p.Compiled] = true
 			}
@@ -96,6 +106,7 @@ func WhereRegistry(data RecordLibrary, src SnapshotSource, opts Options) (*Regis
 		}
 		cur = s
 	}
+	lite, _ := data.(LiteRecordLibrary)
 
 	args := []int64{0}
 	for i := 0; i < n; i++ {
@@ -103,12 +114,50 @@ func WhereRegistry(data RecordLibrary, src SnapshotSource, opts Options) (*Regis
 		if s := src.Snapshot(); cur == nil || s.Gen != cur.Gen {
 			swapTo(s)
 		}
-		data.SetRecord(i)
 		args[0] = int64(i)
 		verdicts := make(map[registry.QueryID]bool, len(cur.Slots)+len(cur.Pending))
+		// The guard swaps with the snapshot it was synthesized for: it gates
+		// only that generation's Merged, so a stale guard can never filter a
+		// record a pending (not yet consolidated) query would notify on —
+		// pending queries run verbatim below regardless of the verdict.
+		filtered := cur.Guard != nil && !cur.Guard.Trivial && cur.Compiled != nil
+		decoded := false
 
 		t0 := time.Now()
-		if cur.Compiled != nil {
+		rejected := false
+		if filtered {
+			if lite != nil {
+				lite.SetRecordLite(i)
+			} else {
+				data.SetRecord(i)
+				decoded = true
+			}
+			grn := runner(cur.Guard.Compiled)
+			gcost, gerr := grn.RunDense(args)
+			// Guard runtime errors fail open: the merged program decides.
+			if gerr == nil {
+				out.UDFCost += gcost
+				out.GuardCost += gcost
+				rejected = !cur.Guard.Admits(grn)
+			}
+		}
+		if rejected {
+			out.Rejected++
+			// The guard is a necessary condition for any notification of the
+			// merged program: every slot verdict is false.
+			for _, id := range cur.Slots {
+				if cur.Removed[id] {
+					out.SuppressedNotifies++
+					continue
+				}
+				verdicts[id] = false
+			}
+		} else if cur.Compiled != nil {
+			out.Admitted++
+			if !decoded {
+				data.SetRecord(i)
+				decoded = true
+			}
 			rn := runner(cur.Compiled)
 			cost, err := rn.RunDense(args)
 			if err != nil {
@@ -126,6 +175,12 @@ func WhereRegistry(data RecordLibrary, src SnapshotSource, opts Options) (*Regis
 				}
 				verdicts[id] = v
 			}
+		} else {
+			out.Admitted++
+		}
+		if len(cur.Pending) > 0 && !decoded {
+			data.SetRecord(i)
+			decoded = true
 		}
 		for _, p := range cur.Pending {
 			rn := runner(p.Compiled)

@@ -44,6 +44,10 @@ const (
 	// stamps, or error behaviour on the same program and input, under the
 	// default or a custom cost model.
 	CheckExec = "executor"
+	// CheckPrefilterSound: a synthesized admission guard filtered a record
+	// the consolidated program notifies on, or a notify-path condition
+	// failed to imply the guard — the pre-filter lost a notification.
+	CheckPrefilterSound = "prefilter"
 	// CheckErr marks infrastructure failures (consolidation or
 	// interpretation errored, registry rejected a program) — not a
 	// property violation, but still a bug in generator or system.

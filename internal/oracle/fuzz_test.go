@@ -22,6 +22,9 @@ func FuzzConsolidateEquivalence(f *testing.F) {
 		if fail := CheckExecutor(b); fail != nil {
 			t.Fatal(fail)
 		}
+		if fail := CheckPrefilter(b); fail != nil {
+			t.Fatal(fail)
+		}
 	})
 }
 

@@ -124,6 +124,9 @@ func TestOracleCorpus(t *testing.T) {
 		if f := CheckExecutor(b); f != nil {
 			t.Fatal(f)
 		}
+		if f := CheckPrefilter(b); f != nil {
+			t.Fatal(f)
+		}
 		if i%4 == 0 {
 			rb := Generate(seed, registryGenOptions(opts))
 			if f := CheckRegistry(rb, 5); f != nil {

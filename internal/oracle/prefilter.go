@@ -1,0 +1,99 @@
+package oracle
+
+import (
+	"consolidation/internal/consolidate"
+	"consolidation/internal/lang"
+	"consolidation/internal/logic"
+	"consolidation/internal/prefilter"
+	"consolidation/internal/smt"
+)
+
+// prefilterGuardOptions opens the cheap fragment wide (the oracle library's
+// calls cost 15–40, far above an engine lite-decode bound) and relaxes the
+// size caps: the engine bounds guards for per-record cheapness, but the
+// oracle wants the richest non-trivial guards it can get, because a trivial
+// guard makes every property below vacuous.
+func prefilterGuardOptions() prefilter.Options {
+	return prefilter.Options{
+		Coster:      Lib(),
+		MaxCallCost: 1000,
+		MaxCalls:    64,
+		MaxSize:     1024,
+	}
+}
+
+// CheckPrefilter holds admission-guard synthesis to its soundness contract
+// on the batch's consolidated program, with the fragment opened wide so
+// generated batches yield non-trivial guards:
+//
+//   - SMT necessity: for every collected notify-path condition Ψ, the
+//     query Ψ ∧ ¬G must not be satisfiable — the guard is implied whenever
+//     any notify-true site is reached. A Sat verdict is a synthesis bug;
+//     Unknown is tolerated (the engine-side weakening was verified through
+//     Entails, which treats Unknown as a refusal, not a proof).
+//   - Differential replay (the brute-force small-domain search): every
+//     probe input runs through both the compiled guard and the merged
+//     program; a rejected input on which the merged program notifies true
+//     is a soundness violation. Guard runtime errors fail open (the engine
+//     admits on them), and merged-program errors on rejected inputs are
+//     skipped — the filtered path forfeits error observation on rejected
+//     records by design.
+//
+// nil means the guard is sound on this batch.
+func CheckPrefilter(b *Batch) *Failure {
+	lib := Lib()
+	merged, _, err := consolidate.All(b.Progs, consolidate.Options{}, true, false)
+	if err != nil {
+		return failf(CheckErr, b, "consolidation: %v", err)
+	}
+	guard := prefilter.Synthesize(merged, prefilterGuardOptions())
+	if guard.Trivial {
+		// The admit-all guard filters nothing: vacuously sound.
+		return nil
+	}
+
+	// SMT necessity, condition by condition.
+	solver := smt.New()
+	for i, nc := range guard.Conds {
+		conj := append(append([]logic.Formula{}, nc.Conjuncts...), logic.Not(guard.Formula))
+		q := logic.And(conj...)
+		if solver.Check(q) == smt.Sat {
+			f := failf(CheckPrefilterSound, b,
+				"notify-path condition %d (id %d) does not imply the guard %s", i, nc.ID, guard.Test)
+			f.Formula = q.String()
+			return f
+		}
+	}
+
+	// Differential replay over the probe grid.
+	mergedC, err := lang.Compile(merged)
+	if err != nil {
+		return failf(CheckErr, b, "compiling consolidated program: %v", err)
+	}
+	mrn := lang.NewRunner(mergedC, lib)
+	mrn.MaxSteps = maxInterpSteps
+	grn := lang.NewRunner(guard.Compiled, lib)
+	grn.MaxSteps = maxInterpSteps
+	for _, in := range b.Inputs {
+		if _, err := grn.RunDense(in); err != nil {
+			// Fail-open: the engine admits the record and the merged program
+			// decides, so a guard error can never lose a notification.
+			continue
+		}
+		if guard.Admits(grn) {
+			continue
+		}
+		if _, err := mrn.RunDense(in); err != nil {
+			continue
+		}
+		for _, id := range mergedC.NoteIDs() {
+			if v, ok := mrn.Note(id); ok && v {
+				f := failf(CheckPrefilterSound, b,
+					"guard %s rejects input %v but the consolidated program notifies %d true", guard.Test, in, id)
+				f.Input = in
+				return f
+			}
+		}
+	}
+	return nil
+}

@@ -33,6 +33,8 @@ func Shrink(f *Failure, budget int) *Failure {
 		rerun = CheckConsolidation
 	case CheckExec:
 		rerun = CheckExecutor
+	case CheckPrefilterSound:
+		rerun = CheckPrefilter
 	default:
 		return f
 	}

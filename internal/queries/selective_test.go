@@ -1,0 +1,123 @@
+package queries
+
+import (
+	"testing"
+
+	"consolidation/internal/data"
+	"consolidation/internal/lang"
+)
+
+// TestSelectiveGatesNotifications holds the Selective transform to its
+// contract on a real dataset: gated programs still parse and notify the
+// same single id, originals are not mutated, and — record by record — a
+// gated program notifies true exactly when the original does AND the
+// record's followerCount clears the query's threshold. Over the whole
+// dataset the admitted share must land near the requested selectivity.
+func TestSelectiveGatesNotifications(t *testing.T) {
+	cfg := data.TwitterConfig{Tweets: 800, Seed: 5}
+	tw := data.GenTwitter(cfg)
+	progs := MustGen("twitter", "Q2", 4, 7)
+	before := make([]string, len(progs))
+	for i, p := range progs {
+		before[i] = lang.Format(p)
+	}
+
+	const sel = 0.05
+	gated := Selective(progs, "followerCount", tw.FollowerQuantile, sel, 7)
+	if len(gated) != len(progs) {
+		t.Fatalf("Selective returned %d programs, want %d", len(gated), len(progs))
+	}
+	for i, p := range progs {
+		if lang.Format(p) != before[i] {
+			t.Fatalf("Selective mutated input program %s", p.Name)
+		}
+	}
+
+	run := func(p *lang.Program, rec int) bool {
+		c, err := lang.Compile(p)
+		if err != nil {
+			t.Fatalf("%s does not compile: %v", p.Name, err)
+		}
+		tw.SetRecord(rec)
+		rn := lang.NewRunner(c, tw)
+		if _, err := rn.RunDense([]int64{int64(rec)}); err != nil {
+			t.Fatalf("%s on record %d: %v", p.Name, rec, err)
+		}
+		v, ok := rn.Note(1)
+		return ok && v
+	}
+
+	n := tw.NumRecords()
+	fired, gatedFired := 0, 0
+	for qi, g := range gated {
+		text := lang.Format(g)
+		if _, err := lang.Parse(text); err != nil {
+			t.Fatalf("gated %s does not re-parse: %v\n%s", g.Name, err, text)
+		}
+		ids := lang.NotifyIDs(g.Body)
+		if len(ids) != 1 || !ids[1] {
+			t.Fatalf("gated %s notifies ids %v, want exactly {1}", g.Name, ids)
+		}
+		for rec := 0; rec < n; rec++ {
+			ov := run(progs[qi], rec)
+			gv := run(g, rec)
+			if ov {
+				fired++
+			}
+			if gv {
+				gatedFired++
+			}
+			// Gating only ever suppresses notifications.
+			if gv && !ov {
+				t.Fatalf("gated %s fired on record %d where the original did not", g.Name, rec)
+			}
+		}
+	}
+	if gatedFired >= fired {
+		t.Fatalf("gating did not suppress anything: %d gated vs %d original notifications", gatedFired, fired)
+	}
+	// Each query admits at most its jittered threshold share; with the
+	// ±25%% jitter the loosest query admits at most ~1.25·sel of records,
+	// so across queries the true-rate is bounded well under 4·sel (the
+	// base rate of Q2 already filters most records).
+	rate := float64(gatedFired) / float64(len(gated)*n)
+	if rate > 4*sel {
+		t.Fatalf("gated notification rate %.4f far above requested selectivity %.4f", rate, sel)
+	}
+}
+
+// TestSelectiveDegenerateSelectivity: selectivity 1 admits (nearly)
+// everything the original admits — the quantile at p≈0 is the minimum
+// follower count, so thresholds suppress (almost) nothing.
+func TestSelectiveFullSelectivityIsTransparent(t *testing.T) {
+	tw := data.GenTwitter(data.TwitterConfig{Tweets: 300, Seed: 9})
+	progs := MustGen("twitter", "Q2", 2, 3)
+	gated := Selective(progs, "followerCount", tw.FollowerQuantile, 1.0, 3)
+	for qi, g := range gated {
+		co, err := lang.Compile(progs[qi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg, err := lang.Compile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rec := 0; rec < tw.NumRecords(); rec++ {
+			tw.SetRecord(rec)
+			ro := lang.NewRunner(co, tw)
+			if _, err := ro.RunDense([]int64{int64(rec)}); err != nil {
+				t.Fatal(err)
+			}
+			tw.SetRecord(rec)
+			rg := lang.NewRunner(cg, tw)
+			if _, err := rg.RunDense([]int64{int64(rec)}); err != nil {
+				t.Fatal(err)
+			}
+			ov, _ := ro.Note(1)
+			gv, _ := rg.Note(1)
+			if ov != gv {
+				t.Fatalf("selectivity 1.0 changed %s on record %d: %v -> %v", g.Name, rec, ov, gv)
+			}
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"consolidation/internal/consolidate"
 	"consolidation/internal/lang"
+	"consolidation/internal/prefilter"
 	"consolidation/internal/smt"
 )
 
@@ -63,6 +64,14 @@ type Options struct {
 	// Workers bounds concurrent pair re-merges during a rebuild; 0 means
 	// GOMAXPROCS.
 	Workers int
+	// Prefilter, when non-nil, makes every rebuild synthesize an admission
+	// pre-filter for the consolidated program and publish it with the
+	// snapshot (Snapshot.Guard). Callers typically set Coster to the
+	// dataset and MaxCallCost to its lite-decode bound; a nil Cache/Solver
+	// is backed by the registry's shared SMT cache. Delta snapshots carry
+	// the stale guard forward — sound, because the guard gates only the
+	// unchanged Merged program, and pending queries always run verbatim.
+	Prefilter *prefilter.Options
 }
 
 // PendingQuery is a query added after the current consolidated program was
@@ -99,6 +108,12 @@ type BuildStats struct {
 	// rebuilds keyed by tree span, so a node re-merged after a nearby
 	// change reuses its Tseitin encodings and learned clauses.
 	Context smt.ContextStats
+	// PrefilterTime is the time guard synthesis took (zero when disabled);
+	// GuardTrivial reports whether it degraded to the admit-all guard and
+	// GuardCost the static per-record cost of the synthesized guard.
+	PrefilterTime time.Duration
+	GuardTrivial  bool
+	GuardCost     int64
 }
 
 // Snapshot is one published generation: an immutable view the engine can
@@ -117,6 +132,11 @@ type Snapshot struct {
 	// Slots maps the merged program's notification ids (slot positions at
 	// build time) to query ids.
 	Slots []QueryID
+	// Guard is the admission pre-filter synthesized for Merged (nil when
+	// Options.Prefilter is unset or the built set was empty). It remains
+	// valid on delta snapshots: it gates only Merged, which deltas share,
+	// while Pending queries bypass it by running verbatim.
+	Guard *prefilter.Guard
 	// Pending queries joined after Merged was built and run verbatim.
 	Pending []PendingQuery
 	// Removed marks built queries that have since unsubscribed; their
@@ -519,6 +539,22 @@ func (r *Registry) Rebuild() (*Snapshot, error) {
 	if lk := post.Lookups - pre.Lookups; lk > 0 {
 		bs.CacheHitRate = float64(post.Hits-pre.Hits) / float64(lk)
 	}
+
+	// Re-synthesize the admission guard for the new consolidated program.
+	// This runs on every generation swap: a guard is only meaningful for
+	// the exact Merged it was derived from.
+	var guard *prefilter.Guard
+	if r.opts.Prefilter != nil && root != nil {
+		t0 := time.Now()
+		popts := *r.opts.Prefilter
+		if popts.Solver == nil && popts.Cache == nil {
+			popts.Cache = r.cache
+		}
+		guard = prefilter.Synthesize(root, popts)
+		bs.PrefilterTime = time.Since(t0)
+		bs.GuardTrivial = guard.Trivial
+		bs.GuardCost = guard.Cost
+	}
 	bs.Duration = time.Since(start)
 
 	r.mu.Lock()
@@ -527,6 +563,7 @@ func (r *Registry) Rebuild() (*Snapshot, error) {
 		Merged:   root,
 		Compiled: compiled,
 		Slots:    make([]QueryID, len(ents)),
+		Guard:    guard,
 		Build:    bs,
 	}
 	built := make(map[QueryID]bool, len(ents))
