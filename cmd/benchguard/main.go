@@ -31,6 +31,16 @@
 // degrades to ⊤ — the filtered path then still agrees, but the
 // predicate-pushdown win is gone.
 //
+// When the baseline carries a "latency_scaling" object (cmd/latency
+// -scaling -json) and a fresh run is supplied via -latscaling, benchguard
+// gates multi-core dispatch: the throughput at the highest measured worker
+// count must be at least -minscale × the single-worker throughput. The
+// gate is CPU-aware — the attainable parallelism is min(workers, cpus of
+// the current run), and when that is below -minscale the gate logs and
+// passes instead of demanding speedup the host physically cannot deliver
+// (a 1-CPU container cannot scale, and must not fail a baseline recorded
+// anywhere).
+//
 // Abstract cost, merged program size, and query counts are deterministic
 // for a fixed (seed, scale, count) configuration, so tol exists only as a
 // safety margin for intentional small shifts; genuine regressions blow
@@ -57,13 +67,15 @@ import (
 )
 
 var (
-	flagBaseline    = flag.String("baseline", "BENCH_pr7.json", "committed baseline file (object with a summaries array)")
+	flagBaseline    = flag.String("baseline", "BENCH_pr8.json", "committed baseline file (object with a summaries array)")
 	flagCurrent     = flag.String("current", "", "comma-separated JSON-lines files from cmd/figure9 -json / cmd/figure10 -json")
 	flagLatCurrent  = flag.String("latcurrent", "", "JSON file from cmd/latency -json for the throughput gate (requires a latency baseline)")
 	flagLatFiltered = flag.String("latfiltered", "", "JSON file from cmd/latency -json -selectivity for the pre-filtered throughput gate (requires a latency_filtered baseline)")
+	flagLatScaling  = flag.String("latscaling", "", "JSON file from cmd/latency -scaling -json for the multi-core dispatch gate (requires a latency_scaling baseline)")
 	flagTol        = flag.Float64("tol", 0.02, "relative tolerance before a drift counts as a regression")
 	flagWallTol    = flag.Float64("walltol", 1.0, "relative tolerance for consolidation wall clock (0 disables the wall-clock gate)")
 	flagThrTol     = flag.Float64("thrtol", 0.5, "relative tolerance for per-record throughput (0 disables the throughput gate)")
+	flagMinScale   = flag.Float64("minscale", 1.4, "minimum top-worker/1-worker throughput ratio when the host has the CPUs for it (0 disables the scaling gate)")
 )
 
 // baselineFile is the subset of the trajectory file benchguard reads;
@@ -76,6 +88,10 @@ type baselineFile struct {
 	// configuration as Latency but with the queries gated on a cheap
 	// record field, exercising the admission pre-filter's fast path.
 	LatencyFiltered *bench.LatencySummary `json:"latency_filtered"`
+	// LatencyScaling is the cmd/latency -scaling baseline: the batched
+	// dispatch's throughput trajectory across worker counts, with the CPUs
+	// of the recording host.
+	LatencyScaling *bench.LatencySummary `json:"latency_scaling"`
 }
 
 func key(s bench.Summary) string {
@@ -179,6 +195,9 @@ func main() {
 	if *flagLatFiltered != "" {
 		gateLatency(*flagLatFiltered, base.LatencyFiltered, "latency_filtered", true, failf)
 	}
+	if *flagLatScaling != "" {
+		gateScaling(*flagLatScaling, base.LatencyScaling, failf)
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s) vs %s\n", failures, *flagBaseline)
 		os.Exit(1)
@@ -220,6 +239,82 @@ func gateLatency(path string, b *bench.LatencySummary, kind string, filtered boo
 		fmt.Printf("ok   %s: cons throughput %.0f rec/s (baseline %.0f rec/s)\n",
 			k, cur.ConsRecordsPerSec, b.ConsRecordsPerSec)
 	}
+}
+
+// gateScaling holds one cmd/latency -scaling -json run to the baseline
+// trajectory. The only machine-independent claim multi-core dispatch makes
+// is relative: adding workers must not be pure overhead when the host has
+// the cores to show it. So the gate computes the current run's
+// top-worker/1-worker throughput ratio and requires it ≥ -minscale, but
+// only when min(top workers, current CPUs) can express that ratio at all;
+// otherwise it logs the measured trajectory and passes. Absolute
+// records/sec are never compared across files — both ends of the ratio
+// come from the same run on the same host.
+func gateScaling(path string, b *bench.LatencySummary, failf func(string, ...any)) {
+	if b == nil {
+		failf(`baseline has no "latency_scaling" object for this gate`)
+		return
+	}
+	cur, err := readLatency(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	k := fmt.Sprintf("%s/%s/n=%d (latency_scaling)", cur.Domain, cur.Family, cur.NumUDFs)
+	if len(cur.Scaling) < 2 {
+		failf("%s: scaling run has %d points, need at least workers=1 and one parallel count", k, len(cur.Scaling))
+		return
+	}
+	var base, top bench.ScalingPoint
+	for _, pt := range cur.Scaling {
+		if pt.Workers == 1 {
+			base = pt
+		}
+		if pt.Workers > top.Workers {
+			top = pt
+		}
+	}
+	if base.Workers != 1 || base.RecordsPerSec <= 0 {
+		failf("%s: scaling run has no usable workers=1 point", k)
+		return
+	}
+	ratio := top.RecordsPerSec / base.RecordsPerSec
+	ms := *flagMinScale
+	attainable := float64(top.Workers)
+	if cur.CPUs > 0 && float64(cur.CPUs) < attainable {
+		attainable = float64(cur.CPUs)
+	}
+	switch {
+	case ms <= 0:
+		fmt.Printf("ok   %s: scaling gate disabled; measured %.2fx at %d workers\n", k, ratio, top.Workers)
+	case attainable < ms:
+		fmt.Printf("ok   %s: host has %d CPU(s), cannot attain %.2fx; measured %.2fx at %d workers (informational)\n",
+			k, cur.CPUs, ms, ratio, top.Workers)
+	case ratio < ms:
+		failf("%s: %d-worker throughput is only %.2fx the 1-worker pass on a %d-CPU host (need ≥ %.2fx)",
+			k, top.Workers, ratio, cur.CPUs, ms)
+	default:
+		fmt.Printf("ok   %s: %.2fx at %d workers on %d CPU(s) (baseline recorded %.2fx on %d CPU(s))\n",
+			k, ratio, top.Workers, cur.CPUs, baselineRatio(b), b.CPUs)
+	}
+}
+
+// baselineRatio extracts the baseline trajectory's own top/1 ratio for the
+// log line; zero when the baseline is malformed.
+func baselineRatio(b *bench.LatencySummary) float64 {
+	var base, top bench.ScalingPoint
+	for _, pt := range b.Scaling {
+		if pt.Workers == 1 {
+			base = pt
+		}
+		if pt.Workers > top.Workers {
+			top = pt
+		}
+	}
+	if base.RecordsPerSec <= 0 {
+		return 0
+	}
+	return top.RecordsPerSec / base.RecordsPerSec
 }
 
 // readLatency parses one cmd/latency -json output object.

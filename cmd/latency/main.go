@@ -22,7 +22,17 @@
 //
 // Usage:
 //
+// With -scaling the tool instead sweeps the batched engine dispatch across
+// worker counts: the consolidated operator runs -reps times per count over
+// the same dataset and merged program (consolidation verdicts shared
+// through one SMT cache), and the summary's scaling trajectory records the
+// best whole-pass throughput (records over wall clock) at each count —
+// the input to benchguard's multi-core scaling gate.
+//
+// Usage:
+//
 //	latency [-domain twitter] [-family Q2] [-n 10] [-scale 0.02] [-seed 1] [-selectivity 0.01] [-json]
+//	latency -scaling 1,2,4,8 [-reps 5] [-batch 256] -json
 package main
 
 import (
@@ -30,23 +40,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"consolidation/internal/bench"
 	"consolidation/internal/consolidate"
 	"consolidation/internal/engine"
+	"consolidation/internal/lang"
 	"consolidation/internal/queries"
 	"consolidation/internal/smt"
 )
 
 var (
-	flagDomain = flag.String("domain", "twitter", "dataset domain")
-	flagFamily = flag.String("family", "Q2", "query family")
-	flagN      = flag.Int("n", 10, "number of queries")
-	flagScale  = flag.Float64("scale", 0.02, "dataset scale")
-	flagSeed   = flag.Int64("seed", 1, "workload seed")
-	flagSel    = flag.Float64("selectivity", 1, "gate queries on a cheap record field so ~this fraction of records can notify (1 = ungated)")
-	flagJSON   = flag.Bool("json", false, "emit a bench.LatencySummary object instead of the table")
+	flagDomain  = flag.String("domain", "twitter", "dataset domain")
+	flagFamily  = flag.String("family", "Q2", "query family")
+	flagN       = flag.Int("n", 10, "number of queries")
+	flagScale   = flag.Float64("scale", 0.02, "dataset scale")
+	flagSeed    = flag.Int64("seed", 1, "workload seed")
+	flagSel     = flag.Float64("selectivity", 1, "gate queries on a cheap record field so ~this fraction of records can notify (1 = ungated)")
+	flagJSON    = flag.Bool("json", false, "emit a bench.LatencySummary object instead of the table")
+	flagWorkers = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+	flagBatch   = flag.Int("batch", 0, "records per dispatched batch (0 = engine default)")
+	flagScaling = flag.String("scaling", "", "comma-separated worker counts; sweep the consolidated pass across them instead of the latency report")
+	flagReps    = flag.Int("reps", 3, "repetitions per scaling point (best throughput wins)")
 )
 
 func main() {
@@ -69,16 +87,21 @@ func main() {
 		}
 		udfs = queries.Selective(udfs, "followerCount", q.FollowerQuantile, *flagSel, 100+*flagSeed)
 	}
-	many, err := engine.WhereMany(ds, udfs, engine.Options{})
-	if err != nil {
-		fatal(err)
-	}
 	copts := consolidate.DefaultOptions()
 	copts.FuncCoster = ds
 	// Share one SMT query cache across the pairwise merges so the report
 	// below can show how much of the entailment work the cache absorbed.
 	copts.Cache = smt.NewCache(0)
-	cons, err := engine.WhereConsolidated(ds, udfs, copts, engine.Options{})
+	if *flagScaling != "" {
+		runScaling(ds, udfs, copts)
+		return
+	}
+	eopts := engine.Options{Workers: *flagWorkers, BatchSize: *flagBatch}
+	many, err := engine.WhereMany(ds, udfs, eopts)
+	if err != nil {
+		fatal(err)
+	}
+	cons, err := engine.WhereConsolidated(ds, udfs, copts, eopts)
 	if err != nil {
 		fatal(err)
 	}
@@ -106,6 +129,9 @@ func main() {
 			Family:            *flagFamily,
 			NumUDFs:           *flagN,
 			Records:           cons.Records,
+			Workers:           *flagWorkers,
+			BatchSize:         *flagBatch,
+			CPUs:              runtime.GOMAXPROCS(0),
 			ManyRecordsPerSec: recPerSec(many.Records, many.UDFTime),
 			ConsRecordsPerSec: recPerSec(cons.Records, cons.UDFTime),
 			ManyUDFMillis:     float64(many.UDFTime) / float64(time.Millisecond),
@@ -159,6 +185,88 @@ func main() {
 	fmt.Printf("SMT cache: %d queries, hit-rate %.1f%% (%d/%d lookups), %d entries, %d evictions\n",
 		cons.Multi.SMTQueries, cons.Multi.CacheHitRate()*100,
 		cs.Hits, cs.Lookups, cs.Entries, cs.Evictions)
+}
+
+// runScaling sweeps the batched consolidated pass across the -scaling
+// worker counts and emits (or prints) the throughput trajectory. The
+// scaling metric is whole-pass wall clock — summed UDF time grows with
+// workers by construction — and each point keeps the best of -reps runs,
+// since the floor of a noisy sample set, not its mean, is what dispatch
+// overhead bounds. The consolidation and pre-filter SMT caches are shared
+// across every run, so only the first pass pays synthesis.
+func runScaling(ds engine.RecordLibrary, udfs []*lang.Program, copts consolidate.Options) {
+	counts, err := parseCounts(*flagScaling)
+	if err != nil {
+		fatal(err)
+	}
+	reps := *flagReps
+	if reps < 1 {
+		reps = 1
+	}
+	pcache := smt.NewCache(0)
+	s := bench.LatencySummary{
+		Domain:    *flagDomain,
+		Family:    *flagFamily,
+		NumUDFs:   *flagN,
+		BatchSize: *flagBatch,
+		CPUs:      runtime.GOMAXPROCS(0),
+	}
+	for _, w := range counts {
+		eopts := engine.Options{Workers: w, BatchSize: *flagBatch, PrefilterCache: pcache}
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			cons, err := engine.WhereConsolidated(ds, udfs, copts, eopts)
+			if err != nil {
+				fatal(err)
+			}
+			s.Records = cons.Records
+			if cons.TotalTime > 0 {
+				if tput := float64(cons.Records) / cons.TotalTime.Seconds(); tput > best {
+					best = tput
+				}
+			}
+		}
+		s.Scaling = append(s.Scaling, bench.ScalingPoint{Workers: w, RecordsPerSec: best})
+	}
+	if *flagJSON {
+		if err := json.NewEncoder(os.Stdout).Encode(s); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("consolidated whole-pass throughput, %s/%s, %d queries, %d records, %d CPUs (best of %d)\n\n",
+		s.Domain, s.Family, s.NumUDFs, s.Records, s.CPUs, reps)
+	base := 0.0
+	for _, pt := range s.Scaling {
+		if base == 0 {
+			base = pt.RecordsPerSec
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = pt.RecordsPerSec / base
+		}
+		fmt.Printf("workers=%-3d %12.0f records/sec  %5.2fx\n", pt.Workers, pt.RecordsPerSec, speedup)
+	}
+}
+
+// parseCounts parses a comma-separated list of positive worker counts.
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("-scaling: bad worker count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scaling: no worker counts")
+	}
+	return out, nil
 }
 
 // recPerSec converts a record count and the wall time spent inside UDF

@@ -303,6 +303,21 @@ type LatencySummary struct {
 	NumUDFs int    `json:"num_udfs"`
 	Records int    `json:"records"`
 
+	// Execution shape: worker count and records-per-batch of the measured
+	// passes, and the CPUs the host exposed (GOMAXPROCS at run time).
+	// Scaling gates are CPU-aware — a baseline recorded on an 8-core box
+	// must not fail a 1-core container that physically cannot scale.
+	Workers   int `json:"workers,omitempty"`
+	BatchSize int `json:"batch_size,omitempty"`
+	CPUs      int `json:"cpus,omitempty"`
+
+	// Scaling, when present, is the multi-core dispatch trajectory: the
+	// consolidated operator's whole-pass throughput (records over wall
+	// clock, best of -reps) at each -scaling worker count, same dataset
+	// and merged program throughout. Wall clock — not summed UDF time,
+	// which only grows with workers — is the scaling metric.
+	Scaling []ScalingPoint `json:"scaling,omitempty"`
+
 	ManyRecordsPerSec float64 `json:"many_records_per_sec"`
 	ConsRecordsPerSec float64 `json:"cons_records_per_sec"`
 	ManyUDFMillis     float64 `json:"many_udf_ms"`
@@ -327,6 +342,12 @@ type LatencySummary struct {
 	PrefilterMS         float64 `json:"prefilter_ms"`
 
 	Agree bool `json:"agree"`
+}
+
+// ScalingPoint is one worker count's measured whole-pass throughput.
+type ScalingPoint struct {
+	Workers       int     `json:"workers"`
+	RecordsPerSec float64 `json:"records_per_sec"`
 }
 
 // Row renders an outcome as a fixed-width report line.

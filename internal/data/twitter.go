@@ -63,10 +63,14 @@ type Twitter struct {
 
 	// curIdx is the selected record (−1 when none); valid after either
 	// SetRecord or SetRecordLite. The token fields below are valid only
-	// after a full SetRecord (ok == true).
-	curIdx int
-	cur    []int64
-	ok     bool
+	// after a full SetRecord (ok == true). inLiteSpan marks that a
+	// SetRecordLiteSpan already invalidated the full decode for the
+	// current guard sweep, so per-record lite selection is a bare index
+	// store.
+	curIdx     int
+	cur        []int64
+	ok         bool
+	inLiteSpan bool
 }
 
 // Token-space layout: ids below smileyBase are words; [smileyBase,
@@ -141,14 +145,30 @@ func (t *Twitter) SetRecord(i int) {
 	t.cur = decodeInts(raw[sep+1:], t.cur)
 	t.curIdx = i
 	t.ok = true
+	t.inLiteSpan = false
 }
 
 // SetRecordLite implements engine.LiteRecordLibrary: it selects the record
 // for the columnar metadata accessors without decoding the token stream.
 // Functions priced above LiteCostBound keep failing until a full SetRecord.
+// Inside a prepared lite span the full decode is already invalidated, so
+// selection reduces to the index store.
 func (t *Twitter) SetRecordLite(i int) {
 	t.curIdx = i
+	if !t.inLiteSpan {
+		t.ok = false
+	}
+}
+
+// SetRecordLiteSpan implements engine.LiteSpanLibrary: the batched lite
+// decode. The columnar metadata needs no per-record preparation, so the
+// whole span amounts to invalidating the full decode once; the engine's
+// per-record SetRecordLite calls inside the span then skip that store. A
+// subsequent SetRecord (the admitted path's full decode) ends the span.
+func (t *Twitter) SetRecordLiteSpan(lo, hi int) {
+	t.curIdx = -1
 	t.ok = false
+	t.inLiteSpan = true
 }
 
 // LiteCostBound implements engine.LiteRecordLibrary: languageOf and

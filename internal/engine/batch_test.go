@@ -1,0 +1,334 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"consolidation/internal/consolidate"
+	"consolidation/internal/lang"
+	"consolidation/internal/prefilter"
+	"consolidation/internal/registry"
+	"consolidation/internal/smt"
+)
+
+// liteToy is a lite-capable RecordLibrary for exercising every batched
+// stage in-package: key(r) answers from a column after a lite select
+// (cost 4, within the lite bound), val(r) needs the full "decode". The
+// spans counter is shared across clones so tests can assert the batched
+// lite-decode hook actually ran.
+type liteToy struct {
+	keys, vals []int64
+	spans      *atomic.Int64
+
+	curIdx int
+	cur    int64
+	ok     bool
+	inSpan bool
+}
+
+func newLiteToy(n int) *liteToy {
+	d := &liteToy{curIdx: -1, spans: new(atomic.Int64)}
+	for i := 0; i < n; i++ {
+		d.keys = append(d.keys, int64(i*13%97))
+		d.vals = append(d.vals, int64(i*7%50))
+	}
+	return d
+}
+
+func (d *liteToy) NumRecords() int { return len(d.keys) }
+func (d *liteToy) SetRecord(i int) {
+	d.curIdx = i
+	d.cur = d.vals[i]
+	d.ok = true
+	d.inSpan = false
+}
+func (d *liteToy) SetRecordLite(i int) {
+	d.curIdx = i
+	if !d.inSpan {
+		d.ok = false
+	}
+}
+func (d *liteToy) SetRecordLiteSpan(lo, hi int) {
+	d.curIdx = -1
+	d.ok = false
+	d.inSpan = true
+	d.spans.Add(1)
+}
+func (d *liteToy) LiteCostBound() int64 { return 4 }
+func (d *liteToy) Clone() RecordLibrary {
+	return &liteToy{keys: d.keys, vals: d.vals, spans: d.spans, curIdx: -1}
+}
+func (d *liteToy) FuncCost(name string) (int64, bool) {
+	switch name {
+	case "key":
+		return 4, true
+	case "val":
+		return 20, true
+	}
+	return 0, false
+}
+func (d *liteToy) key(args []int64) (int64, error) {
+	if d.curIdx < 0 {
+		return 0, fmt.Errorf("liteToy: no record selected")
+	}
+	return d.keys[d.curIdx], nil
+}
+func (d *liteToy) val(args []int64) (int64, error) {
+	if !d.ok {
+		return 0, fmt.Errorf("liteToy: record not decoded")
+	}
+	return d.cur, nil
+}
+func (d *liteToy) Resolve(name string) (func(args []int64) (int64, error), bool) {
+	switch name {
+	case "key":
+		return d.key, true
+	case "val":
+		return d.val, true
+	}
+	return nil, false
+}
+func (d *liteToy) Call(name string, args []int64) (int64, error) {
+	fn, ok := d.Resolve(name)
+	if !ok {
+		return 0, fmt.Errorf("liteToy: no function %q", name)
+	}
+	return fn(args)
+}
+
+// gatedToyUDFs gates the expensive val scan behind the cheap key column —
+// the shape guard synthesis turns into a lite admission pre-filter.
+func gatedToyUDFs(n int, keyThr int64) []*lang.Program {
+	var out []*lang.Program
+	for i := 0; i < n; i++ {
+		out = append(out, lang.MustParse(fmt.Sprintf(
+			"func q%d(r) { f := key(r); if (f >= %d && val(r) > %d) { notify 1 true; } else { notify 1 false; } }",
+			i, keyThr, 10+i*9)))
+	}
+	return out
+}
+
+// sameMetrics asserts the batched run's verdicts and every deterministic
+// metric are byte-identical to the reference run.
+func sameMetrics(t *testing.T, label string, ref, got *Result) {
+	t.Helper()
+	if !SameResults(ref, got) {
+		t.Fatalf("%s: verdicts diverge from the record-at-a-time reference", label)
+	}
+	if ref.UDFCost != got.UDFCost || ref.GuardCost != got.GuardCost {
+		t.Fatalf("%s: cost %d/%d, reference %d/%d", label, got.UDFCost, got.GuardCost, ref.UDFCost, ref.GuardCost)
+	}
+	if ref.Admitted != got.Admitted || ref.Rejected != got.Rejected {
+		t.Fatalf("%s: admitted/rejected %d/%d, reference %d/%d",
+			label, got.Admitted, got.Rejected, ref.Admitted, ref.Rejected)
+	}
+	for q := range ref.LatencySum {
+		if ref.LatencySum[q] != got.LatencySum[q] {
+			t.Fatalf("%s: latency stamp sum of UDF %d is %d, reference %d",
+				label, q, got.LatencySum[q], ref.LatencySum[q])
+		}
+	}
+	for q := range ref.Selected {
+		if ref.Selected[q] != got.Selected[q] {
+			t.Fatalf("%s: selected[%d] %d, reference %d", label, q, got.Selected[q], ref.Selected[q])
+		}
+	}
+}
+
+// TestBatchDispatchParity is the engine-level determinism criterion: every
+// Workers/BatchSize combination must reproduce the record-at-a-time
+// reference byte-identically — verdicts, costs, guard shares,
+// per-notification latency stamps — on both operators, with the admission
+// guard active.
+func TestBatchDispatchParity(t *testing.T) {
+	const n = 271 // deliberately ragged against every batch size below
+	d := newLiteToy(n)
+	udfs := gatedToyUDFs(3, 60)
+	ccache, pcache := smt.NewCache(0), smt.NewCache(0)
+	copts := consolidate.Options{Cache: ccache}
+
+	manyRef, err := WhereMany(d, udfs, Options{Workers: 1, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consRef, err := WhereConsolidated(d, udfs, copts, Options{Workers: 1, BatchSize: 1, PrefilterCache: pcache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consRef.Guard == nil || consRef.Guard.Trivial {
+		t.Fatal("expected a non-trivial guard; the parity matrix would skip the guard stage")
+	}
+	if consRef.Rejected == 0 || consRef.Admitted == 0 {
+		t.Fatalf("degenerate admission split %d/%d", consRef.Admitted, consRef.Rejected)
+	}
+
+	spansBefore := d.spans.Load()
+	for _, bs := range []int{1, 7, 64, n, 512} {
+		for _, w := range []int{1, 2, 4} {
+			label := fmt.Sprintf("workers=%d/batch=%d", w, bs)
+			opts := Options{Workers: w, BatchSize: bs, PrefilterCache: pcache}
+			many, err := WhereMany(d, udfs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameMetrics(t, label+"/many", manyRef, many)
+			cons, err := WhereConsolidated(d, udfs, copts, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameMetrics(t, label+"/cons", &consRef.Result, &cons.Result)
+			wantBatches := (n + bs - 1) / bs
+			if bs > n {
+				wantBatches = 1
+			}
+			if cons.Batches != wantBatches {
+				t.Fatalf("%s: %d batches, want %d", label, cons.Batches, wantBatches)
+			}
+		}
+	}
+	if d.spans.Load() == spansBefore {
+		t.Fatal("batched lite decode (SetRecordLiteSpan) never ran on the filtered passes")
+	}
+}
+
+// TestBatchedConsolidatedZeroAlloc pins the allocation contract of the
+// batched consolidated stage, guard+lite-decode included: once a worker is
+// constructed and warm, evaluating a batch performs zero allocations.
+func TestBatchedConsolidatedZeroAlloc(t *testing.T) {
+	const n, bsize = 512, 128
+	d := newLiteToy(n)
+	udfs := gatedToyUDFs(2, 60)
+	merged, _, err := consolidate.All(udfs, consolidate.Options{FuncCoster: d}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedC, err := lang.Compile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := prefilter.Synthesize(merged, prefilter.Options{Coster: d, MaxCallCost: d.LiteCostBound()})
+	if guard == nil || guard.Trivial {
+		t.Fatal("expected a non-trivial guard; the guard+lite-decode stage would be skipped")
+	}
+	opts := Options{BatchSize: bsize}
+	eval := consolidatedWorker(mergedC, len(udfs), guard, opts)(d.Clone())
+	backing := make([]bool, bsize*len(udfs))
+	rows := make([][]bool, bsize)
+	for i := range rows {
+		off := i * len(udfs)
+		rows[i] = backing[off : off+len(udfs) : off+len(udfs)]
+	}
+	lat := make([]int64, len(udfs))
+	for lo := 0; lo < n; lo += bsize {
+		if _, err := eval(lo, lo+bsize, rows, lat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := eval(bsize, 2*bsize, rows, lat); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batched consolidated stage allocates %v per batch, want 0", allocs)
+	}
+}
+
+// TestBatchedWhereManyZeroAlloc extends the pin to the whereMany stage.
+func TestBatchedWhereManyZeroAlloc(t *testing.T) {
+	const n, bsize = 512, 128
+	d := toy(n)
+	udfs := thresholdUDFs(10, 25, 40)
+	compiled := make([]*lang.Compiled, len(udfs))
+	ids := make([]int, len(udfs))
+	for i, p := range udfs {
+		c, err := lang.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled[i] = c
+		ids[i] = 1
+	}
+	eval := whereManyWorker(udfs, compiled, ids, Options{BatchSize: bsize})(d.Clone())
+	backing := make([]bool, bsize*len(udfs))
+	rows := make([][]bool, bsize)
+	for i := range rows {
+		off := i * len(udfs)
+		rows[i] = backing[off : off+len(udfs) : off+len(udfs)]
+	}
+	lat := make([]int64, len(udfs))
+	for lo := 0; lo < n; lo += bsize {
+		if _, err := eval(lo, lo+bsize, rows, lat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := eval(bsize, 2*bsize, rows, lat); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batched whereMany stage allocates %v per batch, want 0", allocs)
+	}
+}
+
+// TestBatchedRegistryZeroAlloc pins the registry pass's compute/publish
+// split: the evaluate stage (guard sweep, merged program, verbatim pending
+// queries) is allocation-free per batch; only publish materialises verdict
+// maps.
+func TestBatchedRegistryZeroAlloc(t *testing.T) {
+	const n, bsize = 512, 64
+	d := newLiteToy(n)
+	reg, err := registry.New(registry.Options{
+		Debounce:  time.Hour, // freeze background rebuilds: the pending query must stay pending
+		Prefilter: &prefilter.Options{Coster: d, MaxCallCost: d.LiteCostBound()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	for _, p := range gatedToyUDFs(2, 60) {
+		if _, err := reg.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	// One post-rebuild addition exercises the verbatim pending stage.
+	if _, err := reg.Add(lang.MustParse(`func pend(r) { notify 3 (val(r) > 10); }`)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Guard == nil || snap.Guard.Trivial {
+		t.Fatal("expected a non-trivial registry guard")
+	}
+	if len(snap.Pending) == 0 {
+		t.Fatal("expected a pending query in the delta snapshot")
+	}
+
+	out := &RegistryResult{
+		Verdicts: make([]map[registry.QueryID]bool, n),
+		Gens:     make([]uint64, n),
+	}
+	p := newRegPass(d, out, Options{BatchSize: bsize})
+	if err := p.swapTo(snap); err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < n; lo += bsize {
+		if err := p.evalBatch(lo, lo+bsize); err != nil {
+			t.Fatal(err)
+		}
+		p.publish(lo, lo+bsize)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.evalBatch(bsize, 2*bsize); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("registry evaluate stage allocates %v per batch, want 0", allocs)
+	}
+}

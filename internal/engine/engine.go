@@ -11,6 +11,15 @@
 //
 // Comparing the two isolates exactly the benefit of UDF consolidation, as
 // in Figures 9 and 10.
+//
+// Dispatch is batched: the record stream is sharded into fixed-size
+// contiguous batches claimed dynamically by workers, and the per-record
+// stages — lite decode, admission guard, merged-program execution, metrics
+// and latency stamping — run as per-batch stages that amortize snapshot
+// checks, guard setup, and timer reads across the batch. Verdicts, costs,
+// and per-notification stamps are byte-identical at every Workers/BatchSize
+// combination: every accumulation the pass performs is a commutative sum,
+// and each verdict row is written by exactly one worker.
 package engine
 
 import (
@@ -55,14 +64,32 @@ type LiteRecordLibrary interface {
 	LiteCostBound() int64
 }
 
+// LiteSpanLibrary is an optional LiteRecordLibrary extension for batched
+// lite decoding: SetRecordLiteSpan(lo, hi) prepares the contiguous record
+// span [lo, hi) for lite access in one call, so the per-record
+// SetRecordLite inside the span only has to select the index — any
+// invalidation of full-decode state happens once per span instead of once
+// per record. A subsequent SetRecord ends the span (the guard stage is
+// over). Verdicts must be byte-identical with and without the span hook.
+type LiteSpanLibrary interface {
+	LiteRecordLibrary
+	// SetRecordLiteSpan prepares records [lo, hi) for lite selection.
+	SetRecordLiteSpan(lo, hi int)
+}
+
 // Metrics summarises one operator execution.
 type Metrics struct {
 	Records int
 	UDFs    int
+	// Batches counts batch dispatches (ceil(Records / batch size) on a
+	// completed pass).
+	Batches int
 	// UDFCost is the summed abstract cost (Figure 2 semantics) of all UDF
 	// evaluations — the engine-independent measure of computation.
 	UDFCost int64
-	// UDFTime is wall time spent inside UDF evaluation.
+	// UDFTime is wall time spent inside UDF evaluation (the guard stage is
+	// timed per batch and includes the lite decode; merged-program and
+	// whereMany evaluation are timed per record, excluding the full decode).
 	UDFTime time.Duration
 	// TotalTime is wall time for the whole pass, including record decode
 	// and result collection.
@@ -101,10 +128,20 @@ type Result struct {
 	Metrics
 }
 
+// DefaultBatchSize is the records-per-batch used when Options.BatchSize is
+// zero: large enough to amortize dispatch, snapshot checks, and guard-stage
+// timer reads, small enough that registry generation swaps (which take
+// effect only at batch boundaries) stay responsive mid-stream.
+const DefaultBatchSize = 256
+
 // Options configures operator execution.
 type Options struct {
 	// Workers is the number of parallel workers; 0 means GOMAXPROCS.
 	Workers int
+	// BatchSize is the number of records a worker claims per dispatch; 0
+	// means DefaultBatchSize. 1 reproduces record-at-a-time dispatch
+	// (verdicts are byte-identical either way; only amortization changes).
+	BatchSize int
 	// MaxSteps guards against diverging UDFs; 0 disables the guard.
 	MaxSteps int64
 	// NoPrefilter disables admission pre-filter synthesis for consolidated
@@ -120,6 +157,13 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) batchSize() int {
+	if o.BatchSize > 0 {
+		return o.BatchSize
+	}
+	return DefaultBatchSize
 }
 
 // notifyIDOf returns the single notification id a filter UDF broadcasts.
@@ -166,48 +210,61 @@ func WhereMany(data RecordLibrary, udfs []*lang.Program, opts Options) (*Result,
 		compiled[i] = c
 	}
 	start := time.Now()
-	res, err := runPass(data, opts, func(lib RecordLibrary) evalFn {
-		runners := make([]*lang.Runner, len(compiled))
-		noteIdx := make([]int, len(compiled))
-		for i, c := range compiled {
-			runners[i] = lang.NewRunner(c, lib)
-			runners[i].MaxSteps = opts.MaxSteps
-			// The id is statically present (notifyIDOf found it), so the
-			// dense note slot resolves here, outside the record loop.
-			noteIdx[i], _ = c.NoteIndex(ids[i])
-		}
-		args := []int64{0}
-		return func(rec int, row []bool, lat []int64) (evalOut, error) {
-			var out evalOut
-			out.admitted = true
-			lib.SetRecord(rec)
-			args[0] = int64(rec)
-			for q, rn := range runners {
-				t0 := time.Now()
-				c, err := rn.RunDense(args)
-				out.udfTime += time.Since(t0)
-				if err != nil {
-					return evalOut{}, fmt.Errorf("engine: UDF %s on record %d: %w", udfs[q].Name, rec, err)
-				}
-				v, ok := rn.NoteAt(noteIdx[q])
-				if !ok {
-					return evalOut{}, fmt.Errorf("engine: UDF %s did not notify id %d on record %d", udfs[q].Name, ids[q], rec)
-				}
-				// Sequential execution: this UDF's notification waited for
-				// all earlier UDFs on this record.
-				lat[q] += out.cost + rn.NoteCostAt(noteIdx[q])
-				out.cost += c
-				row[q] = v
-			}
-			return out, nil
-		}
-	}, len(udfs))
+	res, err := runPass(data, opts, whereManyWorker(udfs, compiled, ids, opts), len(udfs))
 	if err != nil {
 		return nil, err
 	}
 	res.TotalTime = time.Since(start)
 	finishMetrics(res, len(udfs))
 	return res, nil
+}
+
+// whereManyWorker builds the per-worker batch stage of WhereMany: one
+// runner per UDF, resolved and arity-checked once, then driven through the
+// single-argument batch entry point record by record.
+func whereManyWorker(udfs []*lang.Program, compiled []*lang.Compiled, ids []int, opts Options) func(lib RecordLibrary) batchFn {
+	return func(lib RecordLibrary) batchFn {
+		runners := make([]*lang.Runner, len(compiled))
+		noteIdx := make([]int, len(compiled))
+		for i, c := range compiled {
+			runners[i] = lang.NewRunner(c, lib)
+			runners[i].MaxSteps = opts.MaxSteps
+			if err := runners[i].BeginBatch1(); err != nil {
+				return failingBatch(err)
+			}
+			// The id is statically present (notifyIDOf found it), so the
+			// dense note slot resolves here, outside the batch loop.
+			noteIdx[i], _ = c.NoteIndex(ids[i])
+		}
+		return func(lo, hi int, rows [][]bool, lat []int64) (batchOut, error) {
+			var out batchOut
+			for i := lo; i < hi; i++ {
+				lib.SetRecord(i)
+				row := rows[i-lo]
+				var recCost int64
+				t0 := time.Now()
+				for q, rn := range runners {
+					c, err := rn.RunDense1(int64(i))
+					if err != nil {
+						return batchOut{}, fmt.Errorf("engine: UDF %s on record %d: %w", udfs[q].Name, i, err)
+					}
+					v, ok := rn.NoteAt(noteIdx[q])
+					if !ok {
+						return batchOut{}, fmt.Errorf("engine: UDF %s did not notify id %d on record %d", udfs[q].Name, ids[q], i)
+					}
+					// Sequential execution: this UDF's notification waited for
+					// all earlier UDFs on this record.
+					lat[q] += recCost + rn.NoteCostAt(noteIdx[q])
+					recCost += c
+					row[q] = v
+				}
+				out.udfTime += time.Since(t0)
+				out.cost += recCost
+				out.admitted++
+			}
+			return out, nil
+		}
+	}
 }
 
 // ConsolidatedResult extends Result with consolidation statistics.
@@ -271,89 +328,9 @@ func WhereConsolidated(data RecordLibrary, udfs []*lang.Program, copts consolida
 		guard = prefilter.Synthesize(merged, popts)
 		prefTime = time.Since(t1)
 	}
-	filtered := guard != nil && !guard.Trivial
 
 	start := time.Now()
-	res, err := runPass(data, opts, func(lib RecordLibrary) evalFn {
-		rn := lang.NewRunner(mergedC, lib)
-		rn.MaxSteps = opts.MaxSteps
-		// Notify ids were renumbered to query positions 0..n-1; resolve
-		// each to its dense note slot once. -1 marks an id the merged
-		// program can never broadcast (reported per record below).
-		noteIdx := make([]int, len(udfs))
-		for q := range udfs {
-			k, ok := mergedC.NoteIndex(q)
-			if !ok {
-				k = -1
-			}
-			noteIdx[q] = k
-		}
-		var grn *lang.Runner
-		var glite LiteRecordLibrary
-		if filtered {
-			grn = lang.NewRunner(guard.Compiled, lib)
-			glite, _ = lib.(LiteRecordLibrary)
-		}
-		args := []int64{0}
-		return func(rec int, row []bool, lat []int64) (evalOut, error) {
-			args[0] = int64(rec)
-			var out evalOut
-			out.admitted = true
-			if filtered {
-				if glite != nil {
-					glite.SetRecordLite(rec)
-				} else {
-					lib.SetRecord(rec)
-				}
-				t0 := time.Now()
-				gcost, gerr := grn.RunDense(args)
-				out.udfTime = time.Since(t0)
-				// A guard runtime error fails open: the record is admitted and
-				// the merged program decides (and surfaces its own error, if
-				// any). Guard cost still counts — the work happened.
-				if gerr == nil {
-					out.cost, out.guardCost = gcost, gcost
-					if !guard.Admits(grn) {
-						// Rejected: the guard is a necessary condition for
-						// every notification, so all verdicts are false. The
-						// notification ids must still all be broadcastable —
-						// the same structural check the full run performs.
-						for q, k := range noteIdx {
-							if k == -1 {
-								return evalOut{}, fmt.Errorf("engine: consolidated UDF missing notification %d on record %d", q, rec)
-							}
-							row[q] = false
-							lat[q] += grn.NoteCostAt(guard.NoteIdx)
-						}
-						out.admitted = false
-						return out, nil
-					}
-				}
-				if glite != nil {
-					// Admitted: pay the full decode now.
-					lib.SetRecord(rec)
-				}
-			} else {
-				lib.SetRecord(rec)
-			}
-			t0 := time.Now()
-			cost, err := rn.RunDense(args)
-			out.udfTime += time.Since(t0)
-			if err != nil {
-				return evalOut{}, fmt.Errorf("engine: consolidated UDF on record %d: %w", rec, err)
-			}
-			out.cost += cost
-			for q, k := range noteIdx {
-				v, ok := rn.NoteAt(k)
-				if !ok {
-					return evalOut{}, fmt.Errorf("engine: consolidated UDF missing notification %d on record %d", q, rec)
-				}
-				row[q] = v
-				lat[q] += out.guardCost + rn.NoteCostAt(k)
-			}
-			return out, nil
-		}
-	}, len(udfs))
+	res, err := runPass(data, opts, consolidatedWorker(mergedC, len(udfs), guard, opts), len(udfs))
 	if err != nil {
 		return nil, err
 	}
@@ -365,82 +342,293 @@ func WhereConsolidated(data RecordLibrary, udfs []*lang.Program, copts consolida
 	}, nil
 }
 
-// evalOut reports one record evaluation: its total abstract cost (guard
+// consolidatedWorker builds the per-worker batch stages of
+// WhereConsolidated: a guard stage (lite decode + admission pre-filter,
+// skipped entirely for trivial guards) and a merged-program stage over the
+// admitted records. Runners are constructed and arity-checked once per
+// worker; the guard stage shares one timer pair per batch.
+func consolidatedWorker(mergedC *lang.Compiled, nUDFs int, guard *prefilter.Guard, opts Options) func(lib RecordLibrary) batchFn {
+	filtered := guard != nil && !guard.Trivial
+	return func(lib RecordLibrary) batchFn {
+		rn := lang.NewRunner(mergedC, lib)
+		rn.MaxSteps = opts.MaxSteps
+		if err := rn.BeginBatch1(); err != nil {
+			return failingBatch(err)
+		}
+		// Notify ids were renumbered to query positions 0..n-1; resolve
+		// each to its dense note slot once. -1 marks an id the merged
+		// program can never broadcast (reported per record below).
+		noteIdx := make([]int, nUDFs)
+		for q := range noteIdx {
+			k, ok := mergedC.NoteIndex(q)
+			if !ok {
+				k = -1
+			}
+			noteIdx[q] = k
+		}
+		if !filtered {
+			return func(lo, hi int, rows [][]bool, lat []int64) (batchOut, error) {
+				var out batchOut
+				for i := lo; i < hi; i++ {
+					lib.SetRecord(i)
+					t0 := time.Now()
+					cost, err := rn.RunDense1(int64(i))
+					out.udfTime += time.Since(t0)
+					if err != nil {
+						return batchOut{}, fmt.Errorf("engine: consolidated UDF on record %d: %w", i, err)
+					}
+					out.cost += cost
+					row := rows[i-lo]
+					for q, k := range noteIdx {
+						v, ok := rn.NoteAt(k)
+						if !ok {
+							return batchOut{}, fmt.Errorf("engine: consolidated UDF missing notification %d on record %d", q, i)
+						}
+						row[q] = v
+						lat[q] += rn.NoteCostAt(k)
+					}
+					out.admitted++
+				}
+				return out, nil
+			}
+		}
+		grn := lang.NewRunner(guard.Compiled, lib)
+		grn.MaxSteps = opts.MaxSteps
+		if err := grn.BeginBatch1(); err != nil {
+			return failingBatch(err)
+		}
+		glite, _ := lib.(LiteRecordLibrary)
+		if glite == nil {
+			// No lite decode available: the guard runs after the full decode,
+			// so the guard and merged stages fuse per record — the decode is
+			// shared, exactly as on a lite-capable dataset's admitted path.
+			return func(lo, hi int, rows [][]bool, lat []int64) (batchOut, error) {
+				var out batchOut
+				for i := lo; i < hi; i++ {
+					lib.SetRecord(i)
+					row := rows[i-lo]
+					t0 := time.Now()
+					gcost, gerr := grn.RunDense1(int64(i))
+					out.udfTime += time.Since(t0)
+					// A guard runtime error fails open: the record is admitted
+					// and the merged program decides (and surfaces its own
+					// error, if any). Guard cost still counts — the work
+					// happened.
+					var grec int64
+					if gerr == nil {
+						grec = gcost
+						out.cost += gcost
+						out.guardCost += gcost
+						if !guard.Admits(grn) {
+							if err := rejectRow(row, noteIdx, lat, grn.NoteCostAt(guard.NoteIdx), i); err != nil {
+								return batchOut{}, err
+							}
+							continue
+						}
+					}
+					t1 := time.Now()
+					cost, err := rn.RunDense1(int64(i))
+					out.udfTime += time.Since(t1)
+					if err != nil {
+						return batchOut{}, fmt.Errorf("engine: consolidated UDF on record %d: %w", i, err)
+					}
+					out.cost += cost
+					for q, k := range noteIdx {
+						v, ok := rn.NoteAt(k)
+						if !ok {
+							return batchOut{}, fmt.Errorf("engine: consolidated UDF missing notification %d on record %d", q, i)
+						}
+						row[q] = v
+						lat[q] += grec + rn.NoteCostAt(k)
+					}
+					out.admitted++
+				}
+				return out, nil
+			}
+		}
+		gspan, _ := lib.(LiteSpanLibrary)
+		// Per-worker batch scratch: the guard stage records each record's
+		// admission verdict and guard cost so the merged stage can stamp
+		// admitted-record latencies with the right guard share.
+		bsize := opts.batchSize()
+		admit := make([]bool, bsize)
+		gcosts := make([]int64, bsize)
+		return func(lo, hi int, rows [][]bool, lat []int64) (batchOut, error) {
+			var out batchOut
+			// Guard stage: lite-decode the span once, then run the guard over
+			// the batch. One timer pair covers the stage (the lite decode is
+			// near-zero by contract, so including it keeps the metric honest
+			// without a per-record timer read).
+			if gspan != nil {
+				gspan.SetRecordLiteSpan(lo, hi)
+			}
+			nrej := 0
+			t0 := time.Now()
+			for i := lo; i < hi; i++ {
+				k := i - lo
+				glite.SetRecordLite(i)
+				admit[k], gcosts[k] = true, 0
+				gcost, gerr := grn.RunDense1(int64(i))
+				if gerr != nil {
+					// Fail open; no cost counted for a run that errored out.
+					continue
+				}
+				out.cost += gcost
+				out.guardCost += gcost
+				gcosts[k] = gcost
+				if !guard.Admits(grn) {
+					// Rejected: the guard is a necessary condition for every
+					// notification, so all verdicts are false. The
+					// notification ids must still all be broadcastable — the
+					// same structural check the full run performs.
+					admit[k] = false
+					nrej++
+					if err := rejectRow(rows[k], noteIdx, lat, grn.NoteCostAt(guard.NoteIdx), i); err != nil {
+						return batchOut{}, err
+					}
+				}
+			}
+			out.udfTime += time.Since(t0)
+			if nrej == hi-lo {
+				return out, nil
+			}
+			// Merged stage: pay the full decode and run the merged program
+			// for the admitted records only.
+			for i := lo; i < hi; i++ {
+				k := i - lo
+				if !admit[k] {
+					continue
+				}
+				lib.SetRecord(i)
+				t1 := time.Now()
+				cost, err := rn.RunDense1(int64(i))
+				out.udfTime += time.Since(t1)
+				if err != nil {
+					return batchOut{}, fmt.Errorf("engine: consolidated UDF on record %d: %w", i, err)
+				}
+				out.cost += cost
+				row := rows[k]
+				for q, kn := range noteIdx {
+					v, ok := rn.NoteAt(kn)
+					if !ok {
+						return batchOut{}, fmt.Errorf("engine: consolidated UDF missing notification %d on record %d", q, i)
+					}
+					row[q] = v
+					lat[q] += gcosts[k] + rn.NoteCostAt(kn)
+				}
+				out.admitted++
+			}
+			return out, nil
+		}
+	}
+}
+
+// rejectRow records a guard rejection: every verdict false, every latency
+// stamped at the guard's notification cost. A notify id the merged program
+// cannot broadcast is the same structural error the admitted path reports.
+func rejectRow(row []bool, noteIdx []int, lat []int64, stamp int64, rec int) error {
+	for q, k := range noteIdx {
+		if k == -1 {
+			return fmt.Errorf("engine: consolidated UDF missing notification %d on record %d", q, rec)
+		}
+		row[q] = false
+		lat[q] += stamp
+	}
+	return nil
+}
+
+// batchOut reports one batch evaluation: total abstract cost (guard
 // included), the guard's share of it, wall time inside UDF/guard execution,
-// and whether the admission pre-filter admitted the record (unfiltered
-// passes admit everything).
-type evalOut struct {
+// and how many of the batch's records the admission pre-filter admitted
+// (unfiltered passes admit everything).
+type batchOut struct {
 	cost      int64
 	guardCost int64
 	udfTime   time.Duration
-	admitted  bool
+	admitted  int
 }
 
-// evalFn selects and evaluates one record into a verdict row. Record
-// selection (SetRecord or SetRecordLite) is the evalFn's responsibility, so
-// a pre-filter stage can defer the full decode until a record is admitted.
-type evalFn func(rec int, row []bool, lat []int64) (evalOut, error)
+// batchFn evaluates the record batch [lo, hi) into its verdict rows
+// (rows[i-lo] is record i's row) and latency accumulator. Record selection
+// (SetRecord, SetRecordLite, or a lite span) is the batchFn's
+// responsibility, so a pre-filter stage can defer full decodes until a
+// record is admitted.
+type batchFn func(lo, hi int, rows [][]bool, lat []int64) (batchOut, error)
 
-// runPass partitions records across workers; each worker owns a library
-// clone, compiled runners and a latency accumulator, and calls its evalFn
-// once per record.
+// failingBatch is a batchFn that reports a worker-construction error on
+// first dispatch (runPass surfaces it as the pass error).
+func failingBatch(err error) batchFn {
+	return func(int, int, [][]bool, []int64) (batchOut, error) { return batchOut{}, err }
+}
+
+// runPass shards the record stream into fixed-size contiguous batches and
+// lets workers claim them dynamically off a shared counter. Each worker
+// owns a library clone, compiled runners, scratch arenas, and a latency
+// accumulator, and calls its batchFn once per claimed batch; per-pass
+// totals merge once per worker under the mutex. The verdict rows of the
+// whole pass share one backing allocation, pre-sliced with full slice
+// expressions so rows stay independent.
 func runPass(data RecordLibrary, opts Options,
-	makeWorker func(lib RecordLibrary) evalFn,
+	makeWorker func(lib RecordLibrary) batchFn,
 	nUDFs int) (*Result, error) {
 
 	n := data.NumRecords()
-	bools := make([][]bool, n)
-	workers := opts.workers()
-	if workers > n && n > 0 {
-		workers = n
-	}
 	if n == 0 {
-		return &Result{Bools: bools, Metrics: Metrics{UDFs: nUDFs, LatencySum: make([]int64, nUDFs)}}, nil
+		return &Result{Bools: [][]bool{}, Metrics: Metrics{UDFs: nUDFs, LatencySum: make([]int64, nUDFs)}}, nil
+	}
+	bsize := opts.batchSize()
+	nBatches := (n + bsize - 1) / bsize
+	workers := opts.workers()
+	if workers > nBatches {
+		workers = nBatches
+	}
+	backing := make([]bool, n*nUDFs)
+	rows := make([][]bool, n)
+	for i := range rows {
+		off := i * nUDFs
+		rows[i] = backing[off : off+nUDFs : off+nUDFs]
 	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
-		// done lets the surviving workers bail out between records once any
+		// done lets the surviving workers bail out between batches once any
 		// worker has recorded firstErr; their partial metrics are discarded
 		// with the failed pass anyway.
-		done      atomic.Bool
+		done atomic.Bool
+		// next is the shared batch counter: workers claim the next
+		// unclaimed batch, so a worker stuck on a slow batch never strands
+		// the rest of its range (dynamic load balancing over a contiguous,
+		// record-index-keyed partition).
+		next      atomic.Int64
 		cost      int64
 		guardCost int64
 		admitted  int
+		batches   int
 		udfTime   time.Duration
 		latency   = make([]int64, nUDFs)
 	)
-	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
 			lib := data.Clone()
 			eval := makeWorker(lib)
 			var localCost, localGuard int64
 			var localTime time.Duration
-			localAdmitted := 0
+			localAdmitted, localBatches := 0, 0
 			localLat := make([]int64, nUDFs)
-			// One verdict-row backing array per worker: rows are retained in
-			// bools, so they can't share storage, but they can share one
-			// allocation. Full slice expressions keep the rows independent.
-			backing := make([]bool, (hi-lo)*nUDFs)
-			for i := lo; i < hi; i++ {
-				if done.Load() {
-					return
+			for !done.Load() {
+				b := int(next.Add(1)) - 1
+				if b >= nBatches {
+					break
 				}
-				off := (i - lo) * nUDFs
-				row := backing[off : off+nUDFs : off+nUDFs]
-				out, err := eval(i, row, localLat)
+				lo := b * bsize
+				hi := lo + bsize
+				if hi > n {
+					hi = n
+				}
+				out, err := eval(lo, hi, rows[lo:hi], localLat)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -448,35 +636,35 @@ func runPass(data RecordLibrary, opts Options,
 					}
 					mu.Unlock()
 					done.Store(true)
-					return
+					break
 				}
-				bools[i] = row
 				localCost += out.cost
 				localGuard += out.guardCost
 				localTime += out.udfTime
-				if out.admitted {
-					localAdmitted++
-				}
+				localAdmitted += out.admitted
+				localBatches++
 			}
 			mu.Lock()
 			cost += localCost
 			guardCost += localGuard
 			admitted += localAdmitted
+			batches += localBatches
 			udfTime += localTime
 			for q, v := range localLat {
 				latency[q] += v
 			}
 			mu.Unlock()
-		}(lo, hi)
+		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return &Result{
-		Bools: bools,
+		Bools: rows,
 		Metrics: Metrics{
-			Records: n, UDFs: nUDFs, UDFCost: cost, UDFTime: udfTime, LatencySum: latency,
+			Records: n, UDFs: nUDFs, Batches: batches,
+			UDFCost: cost, UDFTime: udfTime, LatencySum: latency,
 			Admitted: admitted, Rejected: n - admitted, GuardCost: guardCost,
 		},
 	}, nil

@@ -283,11 +283,13 @@ func TestRunPassRowAllocation(t *testing.T) {
 	const records, nUDFs = 512, 4
 	d := &toyData{vals: make([]int64, records)}
 	allocs := testing.AllocsPerRun(5, func() {
-		res, err := runPass(d, Options{Workers: 1}, func(lib RecordLibrary) evalFn {
-			return func(rec int, row []bool, lat []int64) (evalOut, error) {
-				lib.SetRecord(rec)
-				row[rec%nUDFs] = true
-				return evalOut{cost: 1, admitted: true}, nil
+		res, err := runPass(d, Options{Workers: 1, BatchSize: 32}, func(lib RecordLibrary) batchFn {
+			return func(lo, hi int, rows [][]bool, lat []int64) (batchOut, error) {
+				for i := lo; i < hi; i++ {
+					lib.SetRecord(i)
+					rows[i-lo][i%nUDFs] = true
+				}
+				return batchOut{cost: int64(hi - lo), admitted: hi - lo}, nil
 			}
 		}, nUDFs)
 		if err != nil {

@@ -38,7 +38,10 @@ func TestCancellationNoGoroutineLeak(t *testing.T) {
 		for r := 0; r < 200; r++ {
 			d.vals = append(d.vals, int64(r*7%50))
 		}
-		_, err := WhereMany(d, thresholdUDFs(10, 25, 40), Options{Workers: 4})
+		// BatchSize 16 keeps all 4 workers in play (200 records, 13
+		// batches); the default batch size would clamp the pass to one
+		// worker here.
+		_, err := WhereMany(d, thresholdUDFs(10, 25, 40), Options{Workers: 4, BatchSize: 16})
 		if err == nil {
 			t.Fatal("expected injected failure to surface")
 		}
@@ -96,28 +99,43 @@ func (d *pacedData) Call(name string, args []int64) (int64, error) {
 	return d.toyData.Call(name, args)
 }
 
-// TestRunPassEarlyExitOnError pins the early-exit fix: once one worker
-// records an error, the other workers must stop at the next record boundary
-// instead of running their chunks to completion.
+// TestRunPassEarlyExitOnError pins the batched early-exit: the done flag is
+// checked once per batch, so once one worker records an error the others
+// must stop at the next batch boundary — they finish the batch in flight
+// and claim no further ones.
 func TestRunPassEarlyExitOnError(t *testing.T) {
-	const n = 200
+	const n, bsize = 200, 10
+	baseline := runtime.NumGoroutine()
 	d := &pacedData{failBelow: 1000, firstErr: make(chan struct{}), slowCalls: new(atomic.Int64)}
 	for r := 0; r < n; r++ {
-		// Worker 0's chunk (records 0..99) holds only value 1 (fails);
-		// worker 1's chunk holds only value 2000 (slow successes).
-		if r < n/2 {
+		// Batch 0 (records 0..9) holds only value 1 (fails on first call);
+		// every later batch holds value 2000 (slow, counted successes).
+		if r < bsize {
 			d.vals = append(d.vals, 1)
 		} else {
 			d.vals = append(d.vals, 2000)
 		}
 	}
-	_, err := WhereMany(d, thresholdUDFs(10), Options{Workers: 2})
+	_, err := WhereMany(d, thresholdUDFs(10), Options{Workers: 2, BatchSize: bsize})
 	if err == nil {
 		t.Fatal("expected injected failure to surface")
 	}
-	// Without the done flag the surviving worker performs all 100 of its
-	// slow calls; with it, it stops within a few records of the failure.
-	if got := d.slowCalls.Load(); got > 20 {
-		t.Fatalf("surviving worker ran %d records after the error; early exit not taken", got)
+	// One worker claims batch 0 and fails on its first record; the
+	// survivor may finish the batch it had in flight (its slow calls are
+	// paced behind the failure) but must not claim another. Two batches of
+	// slack absorb scheduling races; without the per-batch done check the
+	// survivor runs all 19 slow batches (190 calls).
+	if got := d.slowCalls.Load(); got > 2*bsize {
+		t.Fatalf("surviving worker ran %d slow records after the error; more than the in-flight batch", got)
+	}
+	// And the abort must join every worker: no goroutine may outlive the
+	// pass.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker goroutines leaked after cancelled batched pass: %d at baseline, %d now",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -5,6 +5,7 @@ package engine_test
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"consolidation/internal/consolidate"
@@ -140,6 +141,19 @@ func TestWhereConsolidatedTrivialGuardLegacy(t *testing.T) {
 // serving snapshot's query set would notify on — in particular a freshly
 // added (pending) query must bypass the guard entirely.
 func TestWhereRegistryPrefilterChurn(t *testing.T) {
+	// The churn events land on multiples of 50: batch=1 is the
+	// record-at-a-time reference, 25 and 50 hit every event exactly at a
+	// batch boundary, and 100 defers the first event past its record index
+	// to the next boundary — the batched equivalent of "the swap lands at
+	// the following record".
+	for _, bsize := range []int{1, 25, 50, 100} {
+		t.Run(fmt.Sprintf("batch=%d", bsize), func(t *testing.T) {
+			testWhereRegistryPrefilterChurn(t, bsize)
+		})
+	}
+}
+
+func testWhereRegistryPrefilterChurn(t *testing.T, bsize int) {
 	tw := data.GenTwitter(data.TwitterConfig{Tweets: 400, Seed: 19})
 	thr := tw.FollowerQuantile(0.9)
 	udfs := gatedTwitterUDFs(4, thr)
@@ -169,9 +183,11 @@ func TestWhereRegistryPrefilterChurn(t *testing.T) {
 
 	// Churn plan keyed by record index: add the loose query early (it stays
 	// pending — no rebuild), remove a built query, then rebuild late so the
-	// tail streams against a fresh guard.
+	// tail streams against a fresh guard. Events whose record index falls
+	// inside a batch take effect at the next batch boundary — the batched
+	// equivalent of "at the next record boundary".
 	var looseID registry.QueryID
-	src := &scriptedSource{reg: reg, at: map[int]func(){
+	src := &scriptedSource{reg: reg, bsize: bsize, at: map[int]func(){
 		50: func() {
 			id, err := reg.Add(loose)
 			if err != nil {
@@ -190,16 +206,21 @@ func TestWhereRegistryPrefilterChurn(t *testing.T) {
 			}
 		},
 	}}
-	res, err := engine.WhereRegistry(tw, src, engine.Options{})
+	res, err := engine.WhereRegistry(tw, src, engine.Options{BatchSize: bsize})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Swaps < 3 {
-		t.Fatalf("expected at least 3 generation swaps, got %d", res.Swaps)
+	if bsize <= 50 {
+		if res.Swaps < 3 {
+			t.Fatalf("expected at least 3 generation swaps, got %d", res.Swaps)
+		}
+	} else if res.Swaps == 0 {
+		t.Fatalf("expected generation swaps mid-stream, got none")
 	}
 	if res.Rejected == 0 {
 		t.Fatalf("guarded registry pass rejected nothing")
 	}
+	assertBatchConstantGens(t, res.Gens, bsize)
 
 	// Reference: evaluate every query verbatim on every record and compare
 	// against the verdict set each record's generation served.
@@ -215,18 +236,50 @@ func TestWhereRegistryPrefilterChurn(t *testing.T) {
 	}
 }
 
+// assertBatchConstantGens pins the batch-boundary invariant: a generation
+// swap must never split a batch, so Gens is constant on every [lo, lo+bsize)
+// span.
+func assertBatchConstantGens(t *testing.T, gens []uint64, bsize int) {
+	t.Helper()
+	for lo := 0; lo < len(gens); lo += bsize {
+		hi := lo + bsize
+		if hi > len(gens) {
+			hi = len(gens)
+		}
+		for i := lo + 1; i < hi; i++ {
+			if gens[i] != gens[lo] {
+				t.Fatalf("generation swap split batch [%d,%d): gen %d at %d vs gen %d at %d",
+					lo, hi, gens[lo], lo, gens[i], i)
+			}
+		}
+	}
+}
+
 // scriptedSource triggers registry mutations at fixed record indices; the
-// Snapshot call at each record boundary is the hook WhereRegistry gives us.
+// Snapshot call at each batch boundary is the hook WhereRegistry gives us,
+// and the upcoming batch's first record is the index it serves.
 type scriptedSource struct {
-	reg *registry.Registry
-	i   int
-	at  map[int]func()
+	reg   *registry.Registry
+	i     int
+	bsize int
+	at    map[int]func()
 }
 
 func (s *scriptedSource) Snapshot() *registry.Snapshot {
-	if fn, ok := s.at[s.i]; ok {
-		fn()
-		delete(s.at, s.i)
+	lo := s.i * s.bsize
+	// Fire every event scheduled at or before the upcoming batch's first
+	// record, in record order (batch sizes that skip over an event's exact
+	// index pick it up at the next boundary).
+	var due []int
+	for rec := range s.at {
+		if rec <= lo {
+			due = append(due, rec)
+		}
+	}
+	sort.Ints(due)
+	for _, rec := range due {
+		s.at[rec]()
+		delete(s.at, rec)
 	}
 	s.i++
 	return s.reg.Snapshot()

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -95,8 +96,23 @@ func TestWhereRegistryQuiet(t *testing.T) {
 // admitted it — no drops, no double notifications — and every verdict must
 // equal the original UDF run alone on that record.
 func TestWhereRegistryHotSwapChurn(t *testing.T) {
+	// Batch-size matrix: 1 is the record-at-a-time reference, 7 a ragged
+	// size that never divides the stream evenly, 32 a round one. Swaps may
+	// only land at batch boundaries — asserted below against Gens — so the
+	// sizes stay small enough that churn still lands mid-stream.
+	for _, bsize := range []int{1, 7, 32} {
+		t.Run(fmt.Sprintf("batch=%d", bsize), func(t *testing.T) {
+			testWhereRegistryHotSwapChurn(t, bsize)
+		})
+	}
+}
+
+func testWhereRegistryHotSwapChurn(t *testing.T, bsize int) {
 	data := &slowToy{toy(800), 40 * time.Microsecond}
-	reg, err := registry.New(registry.Options{Debounce: 2 * time.Millisecond})
+	// Workers > 1: background re-consolidation runs its divide-and-conquer
+	// merges in parallel while the storm lands, so swaps arrive from a
+	// concurrent rebuild, not just the Add/Remove deltas.
+	reg, err := registry.New(registry.Options{Debounce: 2 * time.Millisecond, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +186,7 @@ func TestWhereRegistryHotSwapChurn(t *testing.T) {
 	}()
 
 	src := &recordingSource{reg: reg, liveAt: map[uint64][]registry.QueryID{}}
-	res, err := WhereRegistry(data, src, Options{})
+	res, err := WhereRegistry(data, src, Options{BatchSize: bsize})
 	close(stopChurn)
 	churn.Wait()
 	if err != nil {
@@ -179,6 +195,23 @@ func TestWhereRegistryHotSwapChurn(t *testing.T) {
 
 	if res.Swaps == 0 {
 		t.Fatal("no generation swap landed mid-stream; churn did not overlap the pass")
+	}
+	if res.Batches != (800+bsize-1)/bsize {
+		t.Fatalf("got %d batches for 800 records at batch size %d", res.Batches, bsize)
+	}
+	// A generation swap must never split a batch: Gens is constant on
+	// every batch span.
+	for lo := 0; lo < len(res.Gens); lo += bsize {
+		hi := lo + bsize
+		if hi > len(res.Gens) {
+			hi = len(res.Gens)
+		}
+		for i := lo + 1; i < hi; i++ {
+			if res.Gens[i] != res.Gens[lo] {
+				t.Fatalf("generation swap split batch [%d,%d): gen %d at %d vs gen %d at %d",
+					lo, hi, res.Gens[lo], lo, res.Gens[i], i)
+			}
+		}
 	}
 	// Exactness: record i's verdict key set is the live set of its
 	// admitting generation — queries removed before admission are silent,

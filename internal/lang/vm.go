@@ -244,6 +244,34 @@ func (r *Runner) RunDense(args []int64) (int64, error) {
 	return r.cost, nil
 }
 
+// BeginBatch1 validates, once per batch, what RunDense validates per run:
+// that the program takes exactly one parameter. A batched caller checks it
+// at the batch boundary and then drives the records through RunDense1,
+// which skips the per-run arity check and argument-slice traffic.
+func (r *Runner) BeginBatch1() error {
+	if len(r.c.prog.Params) != 1 {
+		return fmt.Errorf("lang: program %s expects %d arguments, got 1",
+			r.c.prog.Name, len(r.c.prog.Params))
+	}
+	return nil
+}
+
+// RunDense1 is the batch entry point for single-parameter programs: the
+// generation-counter reset and slot write happen inline with no argument
+// slice and no arity check (BeginBatch1 performed it for the whole batch).
+// Behaviour is otherwise identical to RunDense(args) with len(args) == 1.
+func (r *Runner) RunDense1(arg int64) (int64, error) {
+	r.gen++
+	r.cost = 0
+	r.steps = 0
+	r.slots[0] = arg
+	r.slotGen[0] = r.gen
+	if err := r.exec(); err != nil {
+		return 0, err
+	}
+	return r.cost, nil
+}
+
 // NoteAt reports the value broadcast on dense note slot k this run, and
 // whether it was broadcast at all.
 func (r *Runner) NoteAt(k int) (value, notified bool) {

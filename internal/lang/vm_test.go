@@ -224,6 +224,88 @@ func TestVMSlotName(t *testing.T) {
 	}
 }
 
+// TestRunDense1MatchesRunDense pins the batch entry point: for every VM
+// program, BeginBatch1 + RunDense1(a) must produce the same cost, notes,
+// per-notification stamps, and errors as RunDense([]int64{a}).
+func TestRunDense1MatchesRunDense(t *testing.T) {
+	lib := testLib()
+	for _, src := range vmPrograms {
+		p := MustParse(src)
+		c := MustCompile(p)
+		ref := NewRunner(c, lib)
+		bat := NewRunner(c, lib)
+		ref.MaxSteps, bat.MaxSteps = 1000, 1000
+		if err := bat.BeginBatch1(); err != nil {
+			t.Fatalf("%s: BeginBatch1: %v", p.Name, err)
+		}
+		args := []int64{0}
+		for a := int64(-2); a < 14; a++ {
+			args[0] = a
+			refCost, refErr := ref.RunDense(args)
+			batCost, batErr := bat.RunDense1(a)
+			if (refErr == nil) != (batErr == nil) ||
+				(refErr != nil && refErr.Error() != batErr.Error()) {
+				t.Fatalf("%s(%d): error divergence: RunDense=%v RunDense1=%v", p.Name, a, refErr, batErr)
+			}
+			if refErr != nil {
+				continue
+			}
+			if refCost != batCost {
+				t.Fatalf("%s(%d): cost %d vs %d", p.Name, a, refCost, batCost)
+			}
+			for k, id := range c.noteIDs {
+				rv, rok := ref.NoteAt(k)
+				bv, bok := bat.NoteAt(k)
+				if rv != bv || rok != bok || ref.NoteCostAt(k) != bat.NoteCostAt(k) {
+					t.Fatalf("%s(%d): note id %d diverges (%v/%v ok %v/%v, stamp %d vs %d)",
+						p.Name, a, id, rv, bv, rok, bok, ref.NoteCostAt(k), bat.NoteCostAt(k))
+				}
+			}
+		}
+	}
+}
+
+// TestBeginBatch1Arity pins that a multi-parameter program is refused at
+// the batch boundary with RunDense's exact arity-error string.
+func TestBeginBatch1Arity(t *testing.T) {
+	p := MustParse(`func two(a, b) { notify 1 (a < b); }`)
+	rn := NewRunner(MustCompile(p), testLib())
+	err := rn.BeginBatch1()
+	if err == nil {
+		t.Fatal("BeginBatch1 accepted a 2-parameter program")
+	}
+	if _, refErr := rn.RunDense([]int64{7}); refErr == nil || refErr.Error() != err.Error() {
+		t.Fatalf("arity error mismatch: BeginBatch1=%q RunDense=%v", err, refErr)
+	}
+}
+
+// TestRunDense1ZeroAlloc extends the steady-state allocation pin to the
+// batch entry point.
+func TestRunDense1ZeroAlloc(t *testing.T) {
+	lib := testLib()
+	for _, src := range vmPrograms {
+		p := MustParse(src)
+		rn := NewRunner(MustCompile(p), lib)
+		rn.MaxSteps = 1000
+		if err := rn.BeginBatch1(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for a := int64(0); a < 4; a++ {
+			if _, err := rn.RunDense1(a); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := rn.RunDense1(3); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: RunDense1 allocates %v per run, want 0", p.Name, allocs)
+		}
+	}
+}
+
 // TestVMZeroAllocSteadyState pins the tentpole's allocation contract:
 // RunDense performs no per-run allocations.
 func TestVMZeroAllocSteadyState(t *testing.T) {

@@ -44,6 +44,11 @@ const (
 	// stamps, or error behaviour on the same program and input, under the
 	// default or a custom cost model.
 	CheckExec = "executor"
+	// CheckBatch: the engine's batched multi-core dispatch diverged from
+	// the record-at-a-time reference — different verdicts, abstract costs,
+	// admission counts, latency stamp sums, or selectivities at some
+	// Workers/BatchSize combination.
+	CheckBatch = "batch-parity"
 	// CheckPrefilterSound: a synthesized admission guard filtered a record
 	// the consolidated program notifies on, or a notify-path condition
 	// failed to imply the guard — the pre-filter lost a notification.

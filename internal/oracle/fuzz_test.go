@@ -25,6 +25,9 @@ func FuzzConsolidateEquivalence(f *testing.F) {
 		if fail := CheckPrefilter(b); fail != nil {
 			t.Fatal(fail)
 		}
+		if fail := CheckBatchParity(b); fail != nil {
+			t.Fatal(fail)
+		}
 	})
 }
 

@@ -127,6 +127,9 @@ func TestOracleCorpus(t *testing.T) {
 		if f := CheckPrefilter(b); f != nil {
 			t.Fatal(f)
 		}
+		if f := CheckBatchParity(b); f != nil {
+			t.Fatal(f)
+		}
 		if i%4 == 0 {
 			rb := Generate(seed, registryGenOptions(opts))
 			if f := CheckRegistry(rb, 5); f != nil {

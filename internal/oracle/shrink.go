@@ -35,6 +35,8 @@ func Shrink(f *Failure, budget int) *Failure {
 		rerun = CheckExecutor
 	case CheckPrefilterSound:
 		rerun = CheckPrefilter
+	case CheckBatch:
+		rerun = CheckBatchParity
 	default:
 		return f
 	}
