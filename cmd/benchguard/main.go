@@ -41,6 +41,16 @@
 // (a 1-CPU container cannot scale, and must not fail a baseline recorded
 // anywhere).
 //
+// When the baseline carries a "churn" object (cmd/live -sharded -json) and
+// a fresh run is supplied via -churncurrent, benchguard gates the
+// similarity-sharded registry. Both gates are ratios within the current
+// run, so they are machine-independent: admit_gain (the from-scratch
+// per-change rebuild over the sharded Add/Remove p99) must be at least
+// -admitgain, and sharded whole-pass throughput must be at least
+// -shardthr × the single global registry's on the same duel. The run must
+// also report verdict agreement and an actually-sharded registry (more
+// than one cluster).
+//
 // Abstract cost, merged program size, and query counts are deterministic
 // for a fixed (seed, scale, count) configuration, so tol exists only as a
 // safety margin for intentional small shifts; genuine regressions blow
@@ -67,15 +77,18 @@ import (
 )
 
 var (
-	flagBaseline    = flag.String("baseline", "BENCH_pr8.json", "committed baseline file (object with a summaries array)")
+	flagBaseline    = flag.String("baseline", "BENCH_pr9.json", "committed baseline file (object with a summaries array)")
 	flagCurrent     = flag.String("current", "", "comma-separated JSON-lines files from cmd/figure9 -json / cmd/figure10 -json")
 	flagLatCurrent  = flag.String("latcurrent", "", "JSON file from cmd/latency -json for the throughput gate (requires a latency baseline)")
 	flagLatFiltered = flag.String("latfiltered", "", "JSON file from cmd/latency -json -selectivity for the pre-filtered throughput gate (requires a latency_filtered baseline)")
 	flagLatScaling  = flag.String("latscaling", "", "JSON file from cmd/latency -scaling -json for the multi-core dispatch gate (requires a latency_scaling baseline)")
+	flagChurn       = flag.String("churncurrent", "", "JSON file from cmd/live -sharded -json for the sharded-registry churn gate (requires a churn baseline)")
 	flagTol        = flag.Float64("tol", 0.02, "relative tolerance before a drift counts as a regression")
 	flagWallTol    = flag.Float64("walltol", 1.0, "relative tolerance for consolidation wall clock (0 disables the wall-clock gate)")
 	flagThrTol     = flag.Float64("thrtol", 0.5, "relative tolerance for per-record throughput (0 disables the throughput gate)")
 	flagMinScale   = flag.Float64("minscale", 1.4, "minimum top-worker/1-worker throughput ratio when the host has the CPUs for it (0 disables the scaling gate)")
+	flagAdmitGain  = flag.Float64("admitgain", 5, "minimum from-scratch-rebuild / sharded-admission-p99 ratio (0 disables the admission gate)")
+	flagShardThr   = flag.Float64("shardthr", 0.9, "minimum sharded/global whole-pass throughput ratio in the churn duel (0 disables)")
 )
 
 // baselineFile is the subset of the trajectory file benchguard reads;
@@ -92,6 +105,9 @@ type baselineFile struct {
 	// dispatch's throughput trajectory across worker counts, with the CPUs
 	// of the recording host.
 	LatencyScaling *bench.LatencySummary `json:"latency_scaling"`
+	// Churn is the cmd/live -sharded -json baseline: the similarity-sharded
+	// registry's admission-latency and throughput-duel trajectory point.
+	Churn *bench.ChurnSummary `json:"churn"`
 }
 
 func key(s bench.Summary) string {
@@ -197,6 +213,9 @@ func main() {
 	}
 	if *flagLatScaling != "" {
 		gateScaling(*flagLatScaling, base.LatencyScaling, failf)
+	}
+	if *flagChurn != "" {
+		gateChurn(*flagChurn, base.Churn, failf)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s) vs %s\n", failures, *flagBaseline)
@@ -315,6 +334,67 @@ func baselineRatio(b *bench.LatencySummary) float64 {
 		return 0
 	}
 	return top.RecordsPerSec / base.RecordsPerSec
+}
+
+// gateChurn holds one cmd/live -sharded -json run to the sharded
+// registry's contract. Like gateScaling, it never compares absolute wall
+// clock across files — both ends of each gated ratio come from the same
+// run on the same host. The baseline object's role is to exist (opting the
+// gate in) and to anchor the log line.
+//
+// admit_gain is a sound lower bound by construction: the from-scratch
+// rebuild is priced at baseline_n, far below the sharded registry's n, and
+// from-scratch consolidation cost only grows with the live-set size.
+func gateChurn(path string, b *bench.ChurnSummary, failf func(string, ...any)) {
+	if b == nil {
+		failf(`baseline has no "churn" object for this gate`)
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var cur bench.ChurnSummary
+	if err := json.Unmarshal([]byte(strings.TrimSpace(string(raw))), &cur); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	k := fmt.Sprintf("%s/%s/n=%d (churn)", cur.Domain, cur.Family, cur.N)
+	if !cur.Agree {
+		failf("%s: sharded and global notification sets disagree (or a rebuild left a dirty snapshot)", k)
+	}
+	if cur.Clusters < 2 {
+		failf("%s: registry collapsed to %d cluster(s) — similarity sharding is not engaging", k, cur.Clusters)
+	}
+	if mg := *flagAdmitGain; mg > 0 {
+		if cur.AdmitGain < mg {
+			failf("%s: admission p99 %.0fµs is only %.1fx below the %.1fms from-scratch rebuild at n=%d (need ≥ %.0fx)",
+				k, cur.AdmitP99Micros, cur.AdmitGain, cur.BaselineRebuildMS, cur.BaselineN, mg)
+		} else {
+			fmt.Printf("ok   %s: admission p99 %.0fµs, %.0fx below the n=%d from-scratch rebuild (baseline recorded %.0fx)\n",
+				k, cur.AdmitP99Micros, cur.AdmitGain, cur.BaselineN, b.AdmitGain)
+		}
+	}
+	if st := *flagShardThr; st > 0 {
+		if cur.GlobalRecordsPerSec <= 0 {
+			failf("%s: duel has no usable global throughput", k)
+		} else if ratio := cur.ShardedRecordsPerSec / cur.GlobalRecordsPerSec; ratio < st {
+			failf("%s: sharded pass runs at %.2fx the global merged program on the n=%d duel (need ≥ %.2fx)",
+				k, ratio, cur.ThroughputN, st)
+		} else {
+			fmt.Printf("ok   %s: sharded duel throughput %.2fx of global at n=%d (baseline recorded %.2fx)\n",
+				k, ratio, cur.ThroughputN, safeRatio(b.ShardedRecordsPerSec, b.GlobalRecordsPerSec))
+		}
+	}
+}
+
+// safeRatio is a/b guarding the baseline log line against a zero divisor.
+func safeRatio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
 }
 
 // readLatency parses one cmd/latency -json output object.

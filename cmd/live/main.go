@@ -13,11 +13,19 @@
 // Usage:
 //
 //	live [-n 50] [-events 20] [-scale 0.02] [-seed 1] [-workers 0]
+//	live -sharded [-n 10000] [-events 200] [-domain twitter] [-selectivity 0.05] [-json]
 //
 // Expected shape: the cold build costs about as much as from-scratch, and
 // every subsequent change re-merges only the O(log N) nodes on the changed
 // root paths, so per-change time sits well below from-scratch — the gap
 // widens with N.
+//
+// With -sharded the run instead benchmarks the similarity-sharded registry
+// at large N: a timed Add/Remove churn trace (admission latency), the lazy
+// per-event Rebuild over dirtied clusters (stall), a from-scratch baseline
+// at -baseline-n, and a WhereSharded-vs-WhereRegistry throughput duel at
+// -throughput-n. -json (implies -sharded) emits a bench.ChurnSummary for
+// benchguard's -churn gate.
 package main
 
 import (
@@ -43,15 +51,33 @@ var (
 	flagScale   = flag.Float64("scale", 0.02, "dataset scale relative to the paper's size")
 	flagSeed    = flag.Int64("seed", 1, "trace seed")
 	flagWorkers = flag.Int("workers", 0, "pair-merge workers (0 = GOMAXPROCS)")
+	flagDomain  = flag.String("domain", "news", "dataset domain")
+	flagFamily  = flag.String("family", "Mix", "query family")
+
+	flagSharded   = flag.Bool("sharded", false, "benchmark the similarity-sharded registry instead of the global one")
+	flagJSON      = flag.Bool("json", false, "emit a bench.ChurnSummary object (implies -sharded)")
+	flagSel       = flag.Float64("selectivity", 1, "gate queries on a cheap record field so ~this fraction of records can notify (1 = ungated; -sharded only)")
+	flagCluster   = flag.Int("cluster", 0, "max queries per cluster before a rebalance split (0 = shard default)")
+	flagMinSim    = flag.Float64("minsim", 0, "similarity floor for joining a cluster (0 = shard default; negative = cap-driven clustering, new clusters only from capacity splits)")
+	flagBaselineN = flag.Int("baseline-n", 100, "live-set size for the from-scratch rebuild baseline (-sharded only)")
+	flagDuelN     = flag.Int("throughput-n", 50, "query count for the sharded-vs-global throughput duel (-sharded only)")
+	flagReps      = flag.Int("reps", 3, "repetitions for the baseline and the throughput duel")
 )
 
 func main() {
 	flag.Parse()
-	ds, err := bench.Dataset("news", *flagScale, *flagSeed)
+	if *flagJSON {
+		*flagSharded = true
+	}
+	if *flagSharded {
+		runSharded()
+		return
+	}
+	ds, err := bench.Dataset(*flagDomain, *flagScale, *flagSeed)
 	if err != nil {
 		fatal(err)
 	}
-	pool, err := queries.Gen("news", "Mix", *flagN+*flagEvents, 100+*flagSeed)
+	pool, err := queries.Gen(*flagDomain, *flagFamily, *flagN+*flagEvents, 100+*flagSeed)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,8 +107,8 @@ func main() {
 		add()
 	}
 
-	fmt.Printf("live registry over news/Mix — %d initial queries, %d churn events, seed %d\n\n",
-		*flagN, *flagEvents, *flagSeed)
+	fmt.Printf("live registry over %s/%s — %d initial queries, %d churn events, seed %d\n\n",
+		*flagDomain, *flagFamily, *flagN, *flagEvents, *flagSeed)
 	cold, err := reg.Rebuild()
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,332 @@
+// The -sharded mode: the similarity-sharded registry's churn benchmark.
+// It seeds a ShardedRegistry with N queries, replays a timed Add/Remove
+// trace against it (admission latency — the time a subscription blocks on),
+// times the lazy per-event Rebuild that re-consolidates only the dirtied
+// clusters (stall), prices the registry-less alternative at a tractable
+// baseline N (from-scratch consolidate.All per change), and closes with a
+// small-N whole-pass throughput duel of WhereSharded against a single
+// global registry's WhereRegistry, cross-checking the notification sets.
+//
+// With -json the run emits a bench.ChurnSummary object — the input to
+// benchguard's -churn admission-latency and throughput gates.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"consolidation/internal/bench"
+	"consolidation/internal/consolidate"
+	"consolidation/internal/engine"
+	"consolidation/internal/lang"
+	"consolidation/internal/prefilter"
+	"consolidation/internal/queries"
+	"consolidation/internal/registry"
+	"consolidation/internal/shard"
+	"consolidation/internal/smt"
+)
+
+// runSharded drives the churn benchmark and prints either the human table
+// or the bench.ChurnSummary JSON object.
+func runSharded() {
+	n, events := *flagN, *flagEvents
+	ds, err := bench.Dataset(*flagDomain, *flagScale, *flagSeed)
+	if err != nil {
+		fatal(err)
+	}
+	poolN := n + events
+	if *flagBaselineN > poolN {
+		poolN = *flagBaselineN
+	}
+	if *flagDuelN > poolN {
+		poolN = *flagDuelN
+	}
+	pool, err := queries.Gen(*flagDomain, *flagFamily, poolN, 100+*flagSeed)
+	if err != nil {
+		fatal(err)
+	}
+	if *flagSel < 1 {
+		if *flagSel <= 0 {
+			fatal(fmt.Errorf("-selectivity must be in (0, 1]"))
+		}
+		q, ok := ds.(interface{ FollowerQuantile(p float64) int64 })
+		if !ok {
+			fatal(fmt.Errorf("domain %q has no cheap gating field; -selectivity supports twitter", *flagDomain))
+		}
+		pool = queries.Selective(pool, "followerCount", q.FollowerQuantile, *flagSel, 100+*flagSeed)
+	}
+
+	copts := consolidate.DefaultOptions()
+	copts.FuncCoster = ds.(lang.FuncCoster)
+	pf := &prefilter.Options{Coster: ds.(lang.FuncCoster)}
+	if lite, ok := ds.(engine.LiteRecordLibrary); ok {
+		pf.MaxCallCost = lite.LiteCostBound()
+	}
+	ropts := registry.Options{Consolidate: copts, Workers: *flagWorkers, Prefilter: pf}
+	newSharded := func() *shard.ShardedRegistry {
+		sh, err := shard.New(shard.Options{Registry: ropts, MaxClusterSize: *flagCluster, MinSimilarity: *flagMinSim})
+		if err != nil {
+			fatal(err)
+		}
+		return sh
+	}
+
+	if !*flagJSON {
+		fmt.Printf("sharded registry over %s/%s — %d queries, %d churn events, seed %d\n\n",
+			*flagDomain, *flagFamily, n, events, *flagSeed)
+	}
+
+	// Churn phase: seed N, one cold Flush, then a timed Add/Remove trace
+	// with a lazy Rebuild (dirty clusters only) after every event.
+	sh := newSharded()
+	var live []shard.QueryID
+	next := 0
+	add := func() time.Duration {
+		t0 := time.Now()
+		id, err := sh.Add(pool[next])
+		d := time.Since(t0)
+		if err != nil {
+			fatal(err)
+		}
+		next++
+		live = append(live, id)
+		return d
+	}
+	for i := 0; i < n; i++ {
+		add()
+	}
+	t0 := time.Now()
+	if _, err := sh.Flush(); err != nil {
+		fatal(err)
+	}
+	cold := time.Since(t0)
+
+	rng := rand.New(rand.NewSource(*flagSeed))
+	admit := make([]time.Duration, 0, events)
+	stall := make([]time.Duration, 0, events)
+	for ev := 0; ev < events; ev++ {
+		if len(live) <= n/2 || rng.Intn(2) != 0 {
+			admit = append(admit, add())
+		} else {
+			k := rng.Intn(len(live))
+			t0 := time.Now()
+			err := sh.Remove(live[k])
+			admit = append(admit, time.Since(t0))
+			if err != nil {
+				fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		}
+		t0 := time.Now()
+		if _, err := sh.Rebuild(); err != nil {
+			fatal(err)
+		}
+		stall = append(stall, time.Since(t0))
+	}
+	clean := sh.Snapshot().Clean()
+	st := sh.Stats()
+	clusters := sh.NumClusters()
+	var mergedMax, mergedSum, mergedN int
+	for _, cs := range sh.ClusterStats() {
+		if cs.MergedSize > mergedMax {
+			mergedMax = cs.MergedSize
+		}
+		mergedSum += cs.MergedSize
+		mergedN++
+	}
+	// Release the churn-phase registry before timing anything else: at
+	// N=10k its merge trees, caches and snapshots are most of the heap,
+	// and keeping them reachable makes the GC tax the baseline and the
+	// duel instead of the structures' owner.
+	sh.Close()
+	runtime.GC()
+
+	// Baseline: the per-change price of a registry-less service — one
+	// from-scratch consolidate.All with a fresh cache over BaselineN live
+	// queries. From-scratch cost only grows with N, so measuring it at
+	// BaselineN << N understates the gap the AdmitGain gate asks about.
+	var baseSum time.Duration
+	for rep := 0; rep < *flagReps; rep++ {
+		sopts := consolidate.DefaultOptions()
+		sopts.FuncCoster = ds.(lang.FuncCoster)
+		sopts.Cache = smt.NewCache(0)
+		t0 := time.Now()
+		if _, _, err := consolidate.All(pool[:*flagBaselineN], sopts, true, true); err != nil {
+			fatal(err)
+		}
+		baseSum += time.Since(t0)
+	}
+	baseline := baseSum / time.Duration(*flagReps)
+
+	// Throughput duel at DuelN: the same queries in a fresh sharded
+	// registry and in one global registry, whole-pass wall clock, best of
+	// -reps, notification sets cross-checked under the id correspondence.
+	duel := newSharded()
+	defer duel.Close()
+	greg, err := registry.New(ropts)
+	if err != nil {
+		fatal(err)
+	}
+	defer greg.Close()
+	toShard := make(map[registry.QueryID]shard.QueryID, *flagDuelN)
+	for _, p := range pool[:*flagDuelN] {
+		sid, err := duel.Add(p)
+		if err != nil {
+			fatal(err)
+		}
+		gid, err := greg.Add(p)
+		if err != nil {
+			fatal(err)
+		}
+		toShard[gid] = sid
+	}
+	if _, err := duel.Flush(); err != nil {
+		fatal(err)
+	}
+	if _, err := greg.Flush(); err != nil {
+		fatal(err)
+	}
+	var shardRPS, globalRPS float64
+	var sres *engine.ShardedResult
+	var gres *engine.RegistryResult
+	for rep := 0; rep < *flagReps; rep++ {
+		sr, err := engine.WhereSharded(ds, duel, engine.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		gr, err := engine.WhereRegistry(ds, greg, engine.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if rps := recordsPerSec(sr.Records, sr.TotalTime); rps > shardRPS {
+			shardRPS = rps
+		}
+		if rps := recordsPerSec(gr.Records, gr.TotalTime); rps > globalRPS {
+			globalRPS = rps
+		}
+		sres, gres = sr, gr
+	}
+	agree := clean && sameVerdicts(gres, sres, toShard)
+
+	s := bench.ChurnSummary{
+		Domain:   *flagDomain,
+		Family:   *flagFamily,
+		N:        n,
+		Events:   events,
+		Clusters: clusters,
+		Splits:   int(st.Splits),
+		CPUs:     runtime.GOMAXPROCS(0),
+
+		AdmitP50Micros: micros(percentile(admit, 0.50)),
+		AdmitP99Micros: micros(percentile(admit, 0.99)),
+		AdmitMaxMicros: micros(percentile(admit, 1)),
+
+		StallP50MS:  millis(percentile(stall, 0.50)),
+		StallP99MS:  millis(percentile(stall, 0.99)),
+		StallMeanMS: millis(mean(stall)),
+
+		ColdBuildMS:    millis(cold),
+		MergedSizeMax:  mergedMax,
+		MergedSizeMean: float64(mergedSum) / float64(max(mergedN, 1)),
+
+		BaselineN:         *flagBaselineN,
+		BaselineRebuildMS: millis(baseline),
+
+		ThroughputN:          *flagDuelN,
+		ShardedRecordsPerSec: shardRPS,
+		GlobalRecordsPerSec:  globalRPS,
+
+		Agree: agree,
+	}
+	if s.AdmitP99Micros > 0 {
+		s.AdmitGain = s.BaselineRebuildMS * 1000 / s.AdmitP99Micros
+	}
+
+	if *flagJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fatal(err)
+		}
+		if !agree {
+			fatal(fmt.Errorf("sharded and global notification sets disagree"))
+		}
+		return
+	}
+
+	fmt.Printf("cold build: %d clusters in %s (merged size max %d, mean %.0f; %d splits so far)\n\n",
+		s.Clusters, cold.Round(time.Millisecond), s.MergedSizeMax, s.MergedSizeMean, s.Splits)
+	fmt.Printf("admission latency (%d events): p50 %.0fµs  p99 %.0fµs  max %.0fµs\n",
+		events, s.AdmitP50Micros, s.AdmitP99Micros, s.AdmitMaxMicros)
+	fmt.Printf("rebuild stall (dirty clusters only): p50 %.2fms  p99 %.2fms  mean %.2fms\n",
+		s.StallP50MS, s.StallP99MS, s.StallMeanMS)
+	fmt.Printf("baseline: from-scratch consolidation of N=%d is %.1fms per change -> admission gain >= %.0fx\n",
+		s.BaselineN, s.BaselineRebuildMS, s.AdmitGain)
+	fmt.Printf("throughput duel at N=%d: sharded %.0f rec/s vs global %.0f rec/s (%.2fx), verdicts agree: %v\n",
+		s.ThroughputN, shardRPS, globalRPS, shardRPS/globalRPS, agree)
+	if !agree {
+		fatal(fmt.Errorf("sharded and global notification sets disagree"))
+	}
+}
+
+// sameVerdicts diffs the duel's notification sets record-for-record under
+// the global-to-shard id correspondence.
+func sameVerdicts(g *engine.RegistryResult, s *engine.ShardedResult, toShard map[registry.QueryID]shard.QueryID) bool {
+	if g == nil || s == nil || len(g.Verdicts) != len(s.Verdicts) {
+		return false
+	}
+	for i := range g.Verdicts {
+		if len(g.Verdicts[i]) != len(s.Verdicts[i]) {
+			return false
+		}
+		for gid, v := range g.Verdicts[i] {
+			if sv, ok := s.Verdicts[i][toShard[gid]]; !ok || sv != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// percentile returns the q-quantile of ds by the nearest-rank method
+// (q=1 is the maximum). ds is sorted in place.
+func percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	k := int(q*float64(len(ds))+0.5) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(ds) {
+		k = len(ds) - 1
+	}
+	return ds[k]
+}
+
+func mean(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+func recordsPerSec(records int, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(records) / wall.Seconds()
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -38,7 +38,8 @@ func main() {
 		seed          = flag.Int64("seed", 1, "base seed; iteration i uses seed+i")
 		events        = flag.Int("events", 5, "churn events per registry check")
 		registryEvery = flag.Int("registry-every", 4, "run the registry churn check on seeds divisible by k (0 disables)")
-		checks        = flag.String("checks", "consolidate,exec,prefilter,batch,registry,smt,context,intern", "comma-separated checks to run")
+		shardEvery    = flag.Int("shard-every", 4, "run the sharded-registry check on seeds where (seed+2) is divisible by k (0 disables)")
+		checks        = flag.String("checks", "consolidate,exec,prefilter,batch,registry,shard,smt,context,intern", "comma-separated checks to run")
 		shrinkBudget  = flag.Int("shrink-budget", oracle.DefaultShrinkBudget, "re-check budget per shrink")
 		out           = flag.String("out", "oracle-failures", "directory for minimized reproducers")
 		jobs          = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent iterations")
@@ -55,7 +56,7 @@ func main() {
 	var (
 		mu       sync.Mutex
 		failures []*oracle.Failure
-		ran      struct{ consolidate, exec, prefilter, batch, registry, smt, context, intern int }
+		ran      struct{ consolidate, exec, prefilter, batch, registry, shard, smt, context, intern int }
 	)
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -66,7 +67,7 @@ func main() {
 			for i := range work {
 				s := *seed + int64(i)
 				var found []*oracle.Failure
-				var c, e, pf, bp, r, m, x, it int
+				var c, e, pf, bp, r, sh, m, x, it int
 				if enabled["consolidate"] {
 					b := oracle.Generate(s, shapeFor(s))
 					c++
@@ -103,6 +104,14 @@ func main() {
 						found = append(found, f)
 					}
 				}
+				if enabled["shard"] && *shardEvery > 0 && (s+2)%int64(*shardEvery) == 0 {
+					o := shapeFor(s)
+					o.Programs = 2
+					sh++
+					if f := oracle.CheckSharded(oracle.Generate(s, o), *events); f != nil {
+						found = append(found, f)
+					}
+				}
 				if enabled["smt"] {
 					m++
 					if f := oracle.CheckSMT(s); f != nil {
@@ -127,6 +136,7 @@ func main() {
 				ran.prefilter += pf
 				ran.batch += bp
 				ran.registry += r
+				ran.shard += sh
 				ran.smt += m
 				ran.context += x
 				ran.intern += it
@@ -154,8 +164,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  minimized reproducer: %s\n", dir)
 		}
 	}
-	fmt.Printf("oracle: %d seeds from %d in %s — %d consolidation, %d executor, %d prefilter, %d batch-parity, %d registry, %d smt, %d context, %d interner checks, %d failure(s)\n",
-		*n, *seed, time.Since(start).Round(time.Millisecond), ran.consolidate, ran.exec, ran.prefilter, ran.batch, ran.registry, ran.smt, ran.context, ran.intern, len(failures))
+	fmt.Printf("oracle: %d seeds from %d in %s — %d consolidation, %d executor, %d prefilter, %d batch-parity, %d registry, %d shard, %d smt, %d context, %d interner checks, %d failure(s)\n",
+		*n, *seed, time.Since(start).Round(time.Millisecond), ran.consolidate, ran.exec, ran.prefilter, ran.batch, ran.registry, ran.shard, ran.smt, ran.context, ran.intern, len(failures))
 	if len(failures) > 0 {
 		os.Exit(1)
 	}

@@ -350,6 +350,75 @@ type ScalingPoint struct {
 	RecordsPerSec float64 `json:"records_per_sec"`
 }
 
+// ChurnSummary is the machine-readable form of one cmd/live -sharded run:
+// the similarity-sharded registry's admission-latency SLO at large N, its
+// per-event rebuild stalls, and a small-N whole-pass throughput duel
+// against the single global registry. Two of its fields are trajectory
+// gates for benchguard:
+//
+//   - AdmitGain: the from-scratch-amortized global rebuild (measured at
+//     BaselineN, a size where from-scratch is still tractable) divided by
+//     the sharded Add/Remove p99. From-scratch cost only grows with N, so
+//     BaselineN << N makes the recorded gain a LOWER BOUND on the true
+//     ratio at N — the gate asks for >= 5x.
+//   - ShardedRecordsPerSec vs GlobalRecordsPerSec at ThroughputN: the
+//     price of splitting one merged program into per-cluster programs.
+//     The gate asks sharded to stay within 10% of global.
+type ChurnSummary struct {
+	Domain string `json:"domain"`
+	Family string `json:"family"`
+
+	// Churn phase: N live queries at steady state, Events timed
+	// Add/Remove operations against the sharded registry, and the cluster
+	// shape after the final flush.
+	N        int `json:"n"`
+	Events   int `json:"events"`
+	Clusters int `json:"clusters"`
+	Splits   int `json:"splits"`
+	CPUs     int `json:"cpus"`
+
+	// Admission latency: wall time of one ShardedRegistry.Add/Remove call
+	// — signature, cluster routing, per-cluster registry delta publish,
+	// rebalance splits when they trigger — in microseconds. This is the
+	// path a subscription blocks on; re-consolidation is deferred.
+	AdmitP50Micros float64 `json:"admit_p50_us"`
+	AdmitP99Micros float64 `json:"admit_p99_us"`
+	AdmitMaxMicros float64 `json:"admit_max_us"`
+
+	// Rebuild stall: wall time of the lazy Rebuild after each event,
+	// which re-consolidates only the dirtied clusters, in milliseconds.
+	StallP50MS  float64 `json:"stall_p50_ms"`
+	StallP99MS  float64 `json:"stall_p99_ms"`
+	StallMeanMS float64 `json:"stall_mean_ms"`
+
+	// Cold build: one Flush over the freshly seeded N queries, and the
+	// resulting per-cluster merged-program sizes (AST nodes).
+	ColdBuildMS    float64 `json:"cold_build_ms"`
+	MergedSizeMax  int     `json:"merged_size_max"`
+	MergedSizeMean float64 `json:"merged_size_mean"`
+
+	// Global baseline: mean from-scratch consolidate.All over BaselineN
+	// live queries with a fresh cache — the per-change price of a
+	// registry that keeps one merged program and no incremental state.
+	BaselineN         int     `json:"baseline_n"`
+	BaselineRebuildMS float64 `json:"baseline_rebuild_ms"`
+
+	// AdmitGain = BaselineRebuildMS / AdmitP99Micros (unit-adjusted).
+	AdmitGain float64 `json:"admit_gain"`
+
+	// Throughput duel at ThroughputN queries, same dataset: WhereSharded
+	// over the sharded registry vs WhereRegistry over a single global
+	// registry, whole-pass records over wall clock, best of reps.
+	ThroughputN          int     `json:"throughput_n"`
+	ShardedRecordsPerSec float64 `json:"sharded_records_per_sec"`
+	GlobalRecordsPerSec  float64 `json:"global_records_per_sec"`
+
+	// Agree: the duel's notification sets matched record-for-record under
+	// the id correspondence, and every churn-phase Rebuild left a clean
+	// snapshot.
+	Agree bool `json:"agree"`
+}
+
 // Row renders an outcome as a fixed-width report line.
 func (o *Outcome) Row() string {
 	return fmt.Sprintf("%-8s %-4s  n=%-3d rec=%-6d  udf×%5.1f cost×%5.1f total×%5.1f  cons=%8s hit=%4.0f%%  ok=%v",

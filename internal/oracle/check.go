@@ -53,6 +53,12 @@ const (
 	// the consolidated program notifies on, or a notify-path condition
 	// failed to imply the guard — the pre-filter lost a notification.
 	CheckPrefilterSound = "prefilter"
+	// CheckShard: the similarity-sharded registry diverged from a single
+	// global registry under churn — different per-query notification sets
+	// at some point of the Add/Remove trace — or WhereSharded diverged
+	// from its own record-at-a-time reference (verdicts, costs, latency
+	// stamps) at some Workers/BatchSize combination.
+	CheckShard = "shard"
 	// CheckErr marks infrastructure failures (consolidation or
 	// interpretation errored, registry rejected a program) — not a
 	// property violation, but still a bug in generator or system.

@@ -28,6 +28,9 @@ func FuzzConsolidateEquivalence(f *testing.F) {
 		if fail := CheckBatchParity(b); fail != nil {
 			t.Fatal(fail)
 		}
+		if fail := CheckSharded(b, 2); fail != nil {
+			t.Fatal(fail)
+		}
 	})
 }
 

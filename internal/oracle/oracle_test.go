@@ -136,6 +136,12 @@ func TestOracleCorpus(t *testing.T) {
 				t.Fatal(f)
 			}
 		}
+		if i%4 == 2 {
+			sb := Generate(seed, registryGenOptions(opts))
+			if f := CheckSharded(sb, 4); f != nil {
+				t.Fatal(f)
+			}
+		}
 		if f := CheckSMT(seed); f != nil {
 			t.Fatal(f)
 		}

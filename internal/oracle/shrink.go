@@ -37,6 +37,9 @@ func Shrink(f *Failure, budget int) *Failure {
 		rerun = CheckPrefilter
 	case CheckBatch:
 		rerun = CheckBatchParity
+	case CheckShard:
+		events := f.Events
+		rerun = func(b *Batch) *Failure { return CheckSharded(b, events) }
 	default:
 		return f
 	}
