@@ -1,0 +1,78 @@
+// Command aggbench measures the windowed-aggregation workload: families
+// of user-defined aggregations sharing one window spec are executed
+// per-aggregation (the unmerged reference) and through the consolidated
+// shared traversal, and the report shows the abstract-cost reduction the
+// merge recovers plus whether the homomorphic partial/combine split
+// engaged.
+//
+// The two standing workloads are per-city rolling weather statistics
+// (keyed hourly observation windows per station) and per-ticker OHLC-style
+// stock windows (keyed tick windows per instrument); both also run
+// count-partitioned ("every N records") variants.
+//
+// Usage:
+//
+//	aggbench [-n 6] [-scale 0.05] [-seed 1] [-workers 0] [-json]
+//
+// -json emits one bench.AggSummary object per workload (JSON lines), the
+// form benchguard's -aggcurrent gate consumes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"consolidation/internal/bench"
+)
+
+var (
+	flagN       = flag.Int("n", 6, "aggregations per workload")
+	flagScale   = flag.Float64("scale", 0.05, "stream scale relative to the benchmark default")
+	flagSeed    = flag.Int64("seed", 1, "workload seed")
+	flagWorkers = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+	flagJSON    = flag.Bool("json", false, "emit one JSON summary object per workload instead of the report")
+)
+
+func main() {
+	flag.Parse()
+	workloads := []bench.AggConfig{
+		// Per-city rolling weather stats: every station's last 12 hourly
+		// observations, plus the count-partitioned "every 12 readings" view.
+		{Domain: "weather", Window: 12, Keyed: true},
+		{Domain: "weather", Window: 12, Keyed: false},
+		// Per-ticker OHLC-style windows: every instrument's last 10 ticks.
+		{Domain: "stock", Window: 10, Keyed: true},
+		{Domain: "stock", Window: 10, Keyed: false},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if !*flagJSON {
+		fmt.Println("Windowed aggregation — merged shared traversal vs per-aggregation replay")
+		fmt.Printf("(%d aggregations per workload, stream scale %.2f, seed %d)\n\n", *flagN, *flagScale, *flagSeed)
+		fmt.Println(bench.AggHeader())
+	}
+	for _, w := range workloads {
+		w.NumAggs = *flagN
+		w.Scale = *flagScale
+		w.Seed = *flagSeed
+		w.Workers = *flagWorkers
+		o, err := bench.RunAgg(w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: %s: %v\n", w.Domain, err)
+			os.Exit(1)
+		}
+		if *flagJSON {
+			if err := enc.Encode(o.Summary()); err != nil {
+				fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Println(o.AggRow())
+		}
+		if !o.Agree {
+			fmt.Fprintf(os.Stderr, "aggbench: %s: merged outputs diverge from the per-aggregation replay\n", w.Domain)
+			os.Exit(1)
+		}
+	}
+}

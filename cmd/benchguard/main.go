@@ -51,6 +51,15 @@
 // also report verdict agreement and an actually-sharded registry (more
 // than one cluster).
 //
+// When the baseline carries an "agg" array (cmd/aggbench -json) and a
+// fresh run is supplied via -aggcurrent, benchguard gates the windowed-
+// aggregation workload: merged outputs must equal the per-aggregation
+// replay, the abstract cost reduction of the shared traversal must reach
+// -aggmin (2x) and stay within -tol of the baseline, and workloads whose
+// baseline verified fully homomorphic must keep the partial/combine
+// split. Cost reduction is a ratio of deterministic abstract costs, so
+// the gate is machine-independent.
+//
 // Abstract cost, merged program size, and query counts are deterministic
 // for a fixed (seed, scale, count) configuration, so tol exists only as a
 // safety margin for intentional small shifts; genuine regressions blow
@@ -83,12 +92,14 @@ var (
 	flagLatFiltered = flag.String("latfiltered", "", "JSON file from cmd/latency -json -selectivity for the pre-filtered throughput gate (requires a latency_filtered baseline)")
 	flagLatScaling  = flag.String("latscaling", "", "JSON file from cmd/latency -scaling -json for the multi-core dispatch gate (requires a latency_scaling baseline)")
 	flagChurn       = flag.String("churncurrent", "", "JSON file from cmd/live -sharded -json for the sharded-registry churn gate (requires a churn baseline)")
-	flagTol        = flag.Float64("tol", 0.02, "relative tolerance before a drift counts as a regression")
-	flagWallTol    = flag.Float64("walltol", 1.0, "relative tolerance for consolidation wall clock (0 disables the wall-clock gate)")
-	flagThrTol     = flag.Float64("thrtol", 0.5, "relative tolerance for per-record throughput (0 disables the throughput gate)")
-	flagMinScale   = flag.Float64("minscale", 1.4, "minimum top-worker/1-worker throughput ratio when the host has the CPUs for it (0 disables the scaling gate)")
-	flagAdmitGain  = flag.Float64("admitgain", 5, "minimum from-scratch-rebuild / sharded-admission-p99 ratio (0 disables the admission gate)")
-	flagShardThr   = flag.Float64("shardthr", 0.9, "minimum sharded/global whole-pass throughput ratio in the churn duel (0 disables)")
+	flagAggCurrent  = flag.String("aggcurrent", "", "JSON-lines file from cmd/aggbench -json for the windowed-aggregation gate (requires an agg baseline)")
+	flagTol         = flag.Float64("tol", 0.02, "relative tolerance before a drift counts as a regression")
+	flagWallTol     = flag.Float64("walltol", 1.0, "relative tolerance for consolidation wall clock (0 disables the wall-clock gate)")
+	flagThrTol      = flag.Float64("thrtol", 0.5, "relative tolerance for per-record throughput (0 disables the throughput gate)")
+	flagMinScale    = flag.Float64("minscale", 1.4, "minimum top-worker/1-worker throughput ratio when the host has the CPUs for it (0 disables the scaling gate)")
+	flagAdmitGain   = flag.Float64("admitgain", 5, "minimum from-scratch-rebuild / sharded-admission-p99 ratio (0 disables the admission gate)")
+	flagShardThr    = flag.Float64("shardthr", 0.9, "minimum sharded/global whole-pass throughput ratio in the churn duel (0 disables)")
+	flagAggMin      = flag.Float64("aggmin", 2, "minimum merged-vs-replay abstract cost reduction for windowed aggregation (0 disables)")
 )
 
 // baselineFile is the subset of the trajectory file benchguard reads;
@@ -108,6 +119,9 @@ type baselineFile struct {
 	// Churn is the cmd/live -sharded -json baseline: the similarity-sharded
 	// registry's admission-latency and throughput-duel trajectory point.
 	Churn *bench.ChurnSummary `json:"churn"`
+	// Agg is the cmd/aggbench -json baseline: one summary per windowed-
+	// aggregation workload, keyed by (domain, keyed, num_aggs, window).
+	Agg []bench.AggSummary `json:"agg"`
 }
 
 func key(s bench.Summary) string {
@@ -216,6 +230,9 @@ func main() {
 	}
 	if *flagChurn != "" {
 		gateChurn(*flagChurn, base.Churn, failf)
+	}
+	if *flagAggCurrent != "" {
+		gateAgg(*flagAggCurrent, base.Agg, failf)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s) vs %s\n", failures, *flagBaseline)
@@ -387,6 +404,87 @@ func gateChurn(path string, b *bench.ChurnSummary, failf func(string, ...any)) {
 				k, ratio, cur.ThroughputN, safeRatio(b.ShardedRecordsPerSec, b.GlobalRecordsPerSec))
 		}
 	}
+}
+
+// gateAgg holds one cmd/aggbench -json run to the windowed-aggregation
+// contract. The gated quantity — abstract UDF cost of the per-aggregation
+// replay over the merged shared traversal, Figure 2 weights — is
+// deterministic for a fixed workload configuration, so the gate is
+// machine-independent: the reduction must reach -aggmin (2x by default)
+// AND must not drop below the committed baseline's reduction by more than
+// -tol. The run must also report byte-identical windowed outputs, and
+// every workload the baseline marks homomorphic must still verify so (a
+// lost split silently degrades the parallel path, never correctness —
+// which is exactly why it needs a gate).
+func gateAgg(path string, base []bench.AggSummary, failf func(string, ...any)) {
+	if len(base) == 0 {
+		failf(`baseline has no "agg" array for this gate`)
+		return
+	}
+	cur, err := readAgg(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	for _, b := range base {
+		k := aggKey(b)
+		c, ok := cur[k]
+		if !ok {
+			failf("%s: missing from the current aggbench run (did the smoke flags change?)", k)
+			continue
+		}
+		if !c.Agree {
+			failf("%s: merged windowed outputs diverge from the per-aggregation replay", k)
+		}
+		if b.HomGroups == b.Groups && c.HomGroups < c.Groups {
+			failf("%s: only %d of %d groups verified homomorphic (baseline had all %d) — the partial/combine split disengaged",
+				k, c.HomGroups, c.Groups, b.Groups)
+		}
+		if mn := *flagAggMin; mn > 0 && c.CostReduction < mn {
+			failf("%s: cost_reduction %.4f is below the %.1fx shared-traversal floor", k, c.CostReduction, mn)
+		}
+		if c.CostReduction < b.CostReduction*(1-*flagTol) {
+			failf("%s: cost_reduction %.4f regressed below baseline %.4f", k, c.CostReduction, b.CostReduction)
+		} else {
+			fmt.Printf("ok   %s: cost_reduction %.4f (baseline %.4f), %d/%d hom groups\n",
+				k, c.CostReduction, b.CostReduction, c.HomGroups, c.Groups)
+		}
+	}
+}
+
+func aggKey(s bench.AggSummary) string {
+	part := "count"
+	if s.Keyed {
+		part = "keyed"
+	}
+	return fmt.Sprintf("%s/%s/n=%d/win=%d (agg)", s.Domain, part, s.NumAggs, s.Window)
+}
+
+// readAgg parses one cmd/aggbench -json output (JSON lines).
+func readAgg(path string) (map[string]bench.AggSummary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]bench.AggSummary{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var s bench.AggSummary
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out[aggKey(s)] = s
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
 }
 
 // safeRatio is a/b guarding the baseline log line against a zero divisor.

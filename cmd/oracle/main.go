@@ -39,7 +39,7 @@ func main() {
 		events        = flag.Int("events", 5, "churn events per registry check")
 		registryEvery = flag.Int("registry-every", 4, "run the registry churn check on seeds divisible by k (0 disables)")
 		shardEvery    = flag.Int("shard-every", 4, "run the sharded-registry check on seeds where (seed+2) is divisible by k (0 disables)")
-		checks        = flag.String("checks", "consolidate,exec,prefilter,batch,registry,shard,smt,context,intern", "comma-separated checks to run")
+		checks        = flag.String("checks", "consolidate,exec,prefilter,batch,aggregate,registry,shard,smt,context,intern", "comma-separated checks to run")
 		shrinkBudget  = flag.Int("shrink-budget", oracle.DefaultShrinkBudget, "re-check budget per shrink")
 		out           = flag.String("out", "oracle-failures", "directory for minimized reproducers")
 		jobs          = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent iterations")
@@ -56,7 +56,10 @@ func main() {
 	var (
 		mu       sync.Mutex
 		failures []*oracle.Failure
-		ran      struct{ consolidate, exec, prefilter, batch, registry, shard, smt, context, intern int }
+		ran      struct {
+			consolidate, exec, prefilter, batch, aggregate int
+			registry, shard, smt, context, intern          int
+		}
 	)
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -67,7 +70,7 @@ func main() {
 			for i := range work {
 				s := *seed + int64(i)
 				var found []*oracle.Failure
-				var c, e, pf, bp, r, sh, m, x, it int
+				var c, e, pf, bp, ag, r, sh, m, x, it int
 				if enabled["consolidate"] {
 					b := oracle.Generate(s, shapeFor(s))
 					c++
@@ -93,6 +96,12 @@ func main() {
 					b := oracle.Generate(s, shapeFor(s))
 					bp++
 					if f := oracle.CheckBatchParity(b); f != nil {
+						found = append(found, f)
+					}
+				}
+				if enabled["aggregate"] {
+					ag++
+					if f := oracle.CheckAggregate(oracle.GenAggCase(s)); f != nil {
 						found = append(found, f)
 					}
 				}
@@ -135,6 +144,7 @@ func main() {
 				ran.exec += e
 				ran.prefilter += pf
 				ran.batch += bp
+				ran.aggregate += ag
 				ran.registry += r
 				ran.shard += sh
 				ran.smt += m
@@ -164,8 +174,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  minimized reproducer: %s\n", dir)
 		}
 	}
-	fmt.Printf("oracle: %d seeds from %d in %s — %d consolidation, %d executor, %d prefilter, %d batch-parity, %d registry, %d shard, %d smt, %d context, %d interner checks, %d failure(s)\n",
-		*n, *seed, time.Since(start).Round(time.Millisecond), ran.consolidate, ran.exec, ran.prefilter, ran.batch, ran.registry, ran.shard, ran.smt, ran.context, ran.intern, len(failures))
+	fmt.Printf("oracle: %d seeds from %d in %s — %d consolidation, %d executor, %d prefilter, %d batch-parity, %d aggregate, %d registry, %d shard, %d smt, %d context, %d interner checks, %d failure(s)\n",
+		*n, *seed, time.Since(start).Round(time.Millisecond), ran.consolidate, ran.exec, ran.prefilter, ran.batch, ran.aggregate, ran.registry, ran.shard, ran.smt, ran.context, ran.intern, len(failures))
 	if len(failures) > 0 {
 		os.Exit(1)
 	}

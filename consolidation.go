@@ -138,3 +138,49 @@ type Strings = linq.Strings
 
 // NewStrings returns an empty string-interning table.
 func NewStrings() *Strings { return linq.NewStrings() }
+
+// AggProgram is a windowed aggregation UDF: declared accumulators, a
+// per-record fold over a bounded window, and a notification emit that runs
+// when the window closes. The concrete syntax is
+//
+//	agg hot(r) window 4 by cityOf {
+//	  acc n = 0;
+//	  fold { t := tempObs(r); if (20 < t) { n := n + 1; } }
+//	  emit { notify 0 (n >= 2); }
+//	}
+//
+// where `window k` groups the stream into tumbling windows of k records
+// and the optional `by f` partitions by the value of library function f
+// first (per-key windows).
+type AggProgram = lang.AggProgram
+
+// WindowSpec describes how a stream is grouped into windows: a size in
+// records and an optional key-partitioning library function.
+type WindowSpec = lang.WindowSpec
+
+// AggGroup is one window-aligned set of aggregations merged into a shared
+// fold and emit, with the per-accumulator combine operators when the
+// merged fold verified homomorphic.
+type AggGroup = consolidate.AggGroup
+
+// ParseAgg parses one windowed aggregation from source text.
+func ParseAgg(src string) (*AggProgram, error) { return lang.ParseAgg(src) }
+
+// ParseAggs parses a sequence of windowed aggregations from one source
+// text.
+func ParseAggs(src string) ([]*AggProgram, error) { return lang.ParseAggs(src) }
+
+// MustParseAgg is ParseAgg that panics on error.
+func MustParseAgg(src string) *AggProgram { return lang.MustParseAgg(src) }
+
+// FormatAgg renders an aggregation as re-parseable source text.
+func FormatAgg(a *AggProgram) string { return lang.FormatAgg(a) }
+
+// MergeAggs consolidates a batch of windowed aggregations: aggregations
+// with identical window specifications merge into one AggGroup each, whose
+// shared fold traverses the window once for every member. Groups whose
+// merged fold is homomorphic (sum/max/min accumulators, SMT-verified) may
+// additionally be executed as per-batch partials combined at window close.
+func MergeAggs(aggs []*AggProgram, opts Options) ([]*AggGroup, error) {
+	return consolidate.MergeAggs(aggs, opts)
+}

@@ -1,7 +1,9 @@
 // Weather: loop fusion on the paper's Example 2 (min/max monthly
 // temperature filters) and Example 6 (counting loops with shifted
-// indices). Shows the Loop 2 rule fusing provably-synchronised loops and
-// the cross-simplifier reusing the shared getTempOfMonth call.
+// indices), then the windowed-aggregation extension: three per-city
+// rolling statistics over an hourly observation stream merged into one
+// shared window traversal, run through the batched engine and checked
+// against the per-aggregation replay.
 //
 //	go run ./examples/weather
 package main
@@ -9,8 +11,11 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"consolidation"
+	"consolidation/internal/data"
+	"consolidation/internal/engine"
 )
 
 func main() {
@@ -96,4 +101,74 @@ func p2(a) {
 		log.Fatal(err)
 	}
 	fmt.Println("verified on 20 inputs ✓")
+
+	// Rolling per-city statistics: three aggregations over the same
+	// tumbling 6-observation window per station. They window-align, so
+	// MergeAggs folds them in one traversal that decodes each record and
+	// extracts cityOf once; every accumulator is a sum or max, so the
+	// merged fold verifies homomorphic and the engine may split windows
+	// across workers as partial/combine without changing one output bit.
+	aggs, err := consolidation.ParseAggs(`
+agg hotSpells(r) window 6 by cityOf {
+  acc hot = 0;
+  fold {
+    t := tempObs(r);
+    if (10 < t) { hot := hot + 1; }
+  }
+  emit { notify 0 (hot >= 3); }
+}
+agg peakTemp(r) window 6 by cityOf {
+  acc hi = -9999;
+  fold {
+    t := tempObs(r);
+    if (hi < t) { hi := t; }
+  }
+  emit { notify 0 (hi > 14); }
+}
+agg rainfall(r) window 6 by cityOf {
+  acc wet = 0;
+  acc obs = 0;
+  fold {
+    w := rainObs(r);
+    wet := wet + w;
+    obs := obs + 1;
+  }
+  emit {
+    notify 0 (wet > 200);
+    notify 1 (obs == 6);
+  }
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A day and a half of hourly observations from 12 stations.
+	stream := data.GenWeatherStream(data.WeatherStreamConfig{Cities: 12, Hours: 36, Seed: 5})
+
+	many, err := engine.AggregateMany(stream, aggs, engine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	copts := consolidation.Options{}
+	copts.FuncCoster = stream
+	cons, err := engine.AggregateConsolidated(stream, aggs, copts, engine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !engine.SameAggResults(many, &cons.AggResult) {
+		log.Fatal("merged aggregation disagrees with the per-aggregation replay")
+	}
+
+	g := cons.Groups[0]
+	fmt.Println("\n=== Rolling per-city stats: merged window traversal ===")
+	fmt.Printf("group: %s, %d members, %d accumulators, homomorphic=%v\n",
+		g.Window, len(g.Members), len(g.Accs), g.Homomorphic)
+	fmt.Println(consolidation.Format(g.Fold))
+	fmt.Printf("windows emitted       %d per aggregation\n", many.Outputs[0].Windows)
+	fmt.Printf("UDF cost              %d -> %d (%.2fx cheaper)\n",
+		many.UDFCost, cons.UDFCost, float64(many.UDFCost)/float64(cons.UDFCost))
+	fmt.Printf("UDF time              %s -> %s (+ %s consolidation)\n",
+		many.UDFTime.Round(time.Millisecond), cons.UDFTime.Round(time.Millisecond),
+		cons.ConsolidateTime.Round(time.Millisecond))
+	fmt.Println("merged outputs match the per-aggregation replay ✓")
 }

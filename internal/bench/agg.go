@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"consolidation/internal/consolidate"
+	"consolidation/internal/data"
+	"consolidation/internal/engine"
+	"consolidation/internal/lang"
+	"consolidation/internal/queries"
+	"consolidation/internal/smt"
+)
+
+// AggConfig describes one windowed-aggregation experiment: a generated
+// family of aggregations sharing one window spec over a streaming
+// dataset, executed per-aggregation (the unmerged reference) and through
+// the merged shared traversal.
+type AggConfig struct {
+	// Domain selects the stream: "weather" (per-station observations) or
+	// "stock" (per-instrument ticks).
+	Domain string
+	// NumAggs is the number of aggregations to consolidate.
+	NumAggs int
+	// Window is the window size; Keyed partitions it by the domain's key
+	// function (cityOf / tickerOf).
+	Window int
+	Keyed  bool
+	// Scale shrinks the stream relative to the benchmark default (1.0).
+	Scale float64
+	Seed  int64
+	// Workers for the merged pass; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// AggOutcome is one windowed-aggregation experiment's measurements.
+type AggOutcome struct {
+	AggConfig
+	Records int
+	Windows int
+
+	// Groups/HomGroups: shared-traversal groups the merge produced, and
+	// how many of them verified homomorphic (partial/combine split).
+	Groups    int
+	HomGroups int
+
+	ManyUDFCost int64
+	ConsUDFCost int64
+	ManyUDFTime time.Duration
+	ConsUDFTime time.Duration
+	ManyTotal   time.Duration
+	ConsTotal   time.Duration
+	Consolidate time.Duration
+	MergedFold  int // AST size of the merged fold bodies, summed over groups
+	SumFold     int // AST size of the unmerged fold bodies, summed
+	SMTQueries  int
+
+	// Agree is true when the merged pass emitted byte-identical windows.
+	Agree bool
+}
+
+// CostReduction is the shared-traversal win: the ratio of abstract UDF
+// cost (fold + emit + key extraction, Figure 2 weights) between the
+// per-aggregation replay and the merged pass. Deterministic for a fixed
+// (domain, seed, scale) configuration, hence benchguard-gateable.
+func (o *AggOutcome) CostReduction() float64 {
+	if o.ConsUDFCost <= 0 {
+		return 0
+	}
+	return float64(o.ManyUDFCost) / float64(o.ConsUDFCost)
+}
+
+// UDFSpeedup is the wall-clock ratio of time spent inside fold/emit/key
+// evaluation (runner-dependent; reported, not gated).
+func (o *AggOutcome) UDFSpeedup() float64 {
+	if o.ConsUDFTime <= 0 {
+		return 0
+	}
+	return float64(o.ManyUDFTime) / float64(o.ConsUDFTime)
+}
+
+// AggDataset instantiates a streaming domain's dataset at the given scale
+// of the benchmark default.
+func AggDataset(domain string, scale float64, seed int64) (engine.RecordLibrary, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	scaleN := func(n int, min int) int {
+		v := int(float64(n) * scale)
+		if v < min {
+			v = min
+		}
+		return v
+	}
+	switch domain {
+	case "weather":
+		cfg := data.DefaultWeatherStreamConfig()
+		cfg.Cities = scaleN(cfg.Cities, 8)
+		// Keep enough observations per station for a few keyed windows even
+		// at smoke scales.
+		cfg.Hours = scaleN(cfg.Hours, 26)
+		cfg.Seed += seed
+		return data.GenWeatherStream(cfg), nil
+	case "stock":
+		cfg := data.DefaultStockTicksConfig()
+		cfg.Tickers = scaleN(cfg.Tickers, 5)
+		cfg.Ticks = scaleN(cfg.Ticks, 24)
+		cfg.Seed += seed
+		return data.GenStockTicks(cfg), nil
+	}
+	return nil, fmt.Errorf("bench: unknown streaming domain %q", domain)
+}
+
+// RunAgg executes one windowed-aggregation experiment.
+func RunAgg(cfg AggConfig) (*AggOutcome, error) {
+	if cfg.NumAggs == 0 {
+		cfg.NumAggs = 6
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 12
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	ds, err := AggDataset(cfg.Domain, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	aggs, err := queries.GenAgg(cfg.Domain, cfg.NumAggs, cfg.Window, cfg.Keyed, 100+cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eopts := engine.Options{Workers: cfg.Workers}
+
+	many, err := engine.AggregateMany(ds, aggs, eopts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: aggregateMany: %w", err)
+	}
+	copts := consolidate.DefaultOptions()
+	copts.FuncCoster = ds
+	copts.Cache = smt.NewCache(0)
+	cons, err := engine.AggregateConsolidated(ds, aggs, copts, eopts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: aggregateConsolidated: %w", err)
+	}
+
+	o := &AggOutcome{
+		AggConfig: cfg,
+		Records:   many.Records,
+		Windows:   many.Windows,
+
+		Groups: len(cons.Groups),
+
+		ManyUDFCost: many.UDFCost,
+		ConsUDFCost: cons.UDFCost,
+		ManyUDFTime: many.UDFTime,
+		ConsUDFTime: cons.UDFTime,
+		ManyTotal:   many.TotalTime,
+		ConsTotal:   cons.TotalTime,
+		Consolidate: cons.ConsolidateTime,
+
+		Agree: engine.SameAggResults(many, &cons.AggResult),
+	}
+	for _, g := range cons.Groups {
+		if g.Homomorphic {
+			o.HomGroups++
+		}
+		o.MergedFold += lang.Size(g.Fold.Body)
+		o.SumFold += g.SumFoldSize
+		o.SMTQueries += g.Stats.SMTQueries
+	}
+	return o, nil
+}
+
+// AggSummary is the machine-readable form of one windowed-aggregation
+// experiment, emitted by cmd/aggbench -json. CostReduction is the
+// benchguard-gated metric: the merged shared traversal must stay at least
+// 2x cheaper than the per-aggregation replay in abstract UDF cost, a
+// ratio that is deterministic for the configuration and hence
+// machine-independent.
+type AggSummary struct {
+	Domain  string `json:"domain"`
+	Keyed   bool   `json:"keyed"`
+	NumAggs int    `json:"num_aggs"`
+	Window  int    `json:"window"`
+	Records int    `json:"records"`
+	Windows int    `json:"windows"`
+
+	Groups    int `json:"groups"`
+	HomGroups int `json:"hom_groups"`
+
+	CostReduction float64 `json:"cost_reduction"`
+	UDFSpeedup    float64 `json:"udf_speedup"`
+
+	ManyUDFMillis float64 `json:"many_udf_ms"`
+	ConsUDFMillis float64 `json:"cons_udf_ms"`
+	ConsolidateMS float64 `json:"consolidation_ms"`
+	MergedFold    int     `json:"merged_fold_size"`
+	SumFold       int     `json:"sum_fold_size"`
+	SMTQueries    int     `json:"smt_queries"`
+
+	Agree bool `json:"agree"`
+}
+
+// Summary converts the outcome for -json output.
+func (o *AggOutcome) Summary() AggSummary {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return AggSummary{
+		Domain:  o.Domain,
+		Keyed:   o.Keyed,
+		NumAggs: o.NumAggs,
+		Window:  o.Window,
+		Records: o.Records,
+		Windows: o.Windows,
+
+		Groups:    o.Groups,
+		HomGroups: o.HomGroups,
+
+		CostReduction: o.CostReduction(),
+		UDFSpeedup:    o.UDFSpeedup(),
+
+		ManyUDFMillis: ms(o.ManyUDFTime),
+		ConsUDFMillis: ms(o.ConsUDFTime),
+		ConsolidateMS: ms(o.Consolidate),
+		MergedFold:    o.MergedFold,
+		SumFold:       o.SumFold,
+		SMTQueries:    o.SMTQueries,
+
+		Agree: o.Agree,
+	}
+}
+
+// AggRow renders an outcome as a fixed-width report line.
+func (o *AggOutcome) AggRow() string {
+	part := "count"
+	if o.Keyed {
+		part = "keyed"
+	}
+	return fmt.Sprintf("%-8s %-5s n=%-2d win=%-3d rec=%-6d windows=%-5d groups=%d(hom %d)  cost×%5.2f udf×%5.2f  cons=%8s  ok=%v",
+		o.Domain, part, o.NumAggs, o.Window, o.Records, o.Windows,
+		o.Groups, o.HomGroups, o.CostReduction(), o.UDFSpeedup(),
+		o.Consolidate.Round(time.Millisecond), o.Agree)
+}
+
+// AggHeader is the column legend for AggRow.
+func AggHeader() string {
+	return "domain   part  aggs window  records windows  groups        reductions(cost, udf-time)  consolidation  agree"
+}

@@ -27,6 +27,23 @@ func EliminateDeadCode(p *lang.Program) *lang.Program {
 	return &lang.Program{Name: p.Name, Params: p.Params, Body: body}
 }
 
+// EliminateDeadCodeLive is EliminateDeadCode with an explicit live-out
+// set. Fold programs of the aggregation calculus carry their results in
+// accumulator variables rather than notifications, so dead-store
+// elimination must treat the accumulators as live at exit or it would
+// delete the entire fold.
+func EliminateDeadCodeLive(p *lang.Program, liveOut map[string]bool) *lang.Program {
+	body := p.Body
+	for {
+		next, _, changed := dce(body, cloneSet(liveOut))
+		body = next
+		if !changed {
+			break
+		}
+	}
+	return &lang.Program{Name: p.Name, Params: p.Params, Body: body}
+}
+
 // dcePass removes assignments dead with respect to the empty live-out set
 // of the whole program. It returns the rewritten statement and whether
 // anything was removed.

@@ -1,0 +1,87 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestWeatherStreamDeterministicAndInterleaved(t *testing.T) {
+	cfg := WeatherStreamConfig{Cities: 5, Hours: 6, Seed: 7}
+	a, b := GenWeatherStream(cfg), GenWeatherStream(cfg)
+	if a.NumRecords() != 30 || b.NumRecords() != 30 {
+		t.Fatalf("records = %d, want 30", a.NumRecords())
+	}
+	for i := 0; i < a.NumRecords(); i++ {
+		if a.encoded[i] != b.encoded[i] {
+			t.Fatalf("record %d differs between same-seed generations", i)
+		}
+	}
+	// Every hour block contains every city exactly once.
+	seen := map[int64]int{}
+	for i := 0; i < 5; i++ {
+		a.SetRecord(i)
+		c, err := a.Call("cityOf", []int64{int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[c]++
+	}
+	if len(seen) != 5 {
+		t.Fatalf("first hour covers %d cities, want 5", len(seen))
+	}
+}
+
+func TestWeatherStreamLibraryContract(t *testing.T) {
+	w := GenWeatherStream(WeatherStreamConfig{Cities: 3, Hours: 2, Seed: 1})
+	if _, err := w.Clone().Call("tempObs", []int64{0}); err == nil {
+		t.Fatal("call before SetRecord must error")
+	}
+	w.SetRecord(0)
+	if _, err := w.Call("tempObs", nil); err == nil {
+		t.Fatal("wrong arity must error")
+	}
+	if _, err := w.Call("nope", []int64{0}); err == nil {
+		t.Fatal("unknown function must error")
+	}
+	for _, fn := range []string{"cityOf", "tempObs", "rainObs"} {
+		if c, ok := w.FuncCost(fn); !ok || c <= 0 {
+			t.Fatalf("FuncCost(%s) = %d,%v", fn, c, ok)
+		}
+		if _, err := w.Call(fn, []int64{0}); err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+	}
+	if kc, _ := w.FuncCost("cityOf"); kc >= 40 {
+		t.Fatalf("cityOf must be lite-priced, got %d", kc)
+	}
+}
+
+func TestStockTicksDeterministicAndPositive(t *testing.T) {
+	cfg := StockTicksConfig{Tickers: 4, Ticks: 10, Seed: 3}
+	a, b := GenStockTicks(cfg), GenStockTicks(cfg)
+	if a.NumRecords() != 40 {
+		t.Fatalf("records = %d, want 40", a.NumRecords())
+	}
+	for i := 0; i < a.NumRecords(); i++ {
+		if a.encoded[i] != b.encoded[i] {
+			t.Fatalf("record %d differs between same-seed generations", i)
+		}
+		a.SetRecord(i)
+		p, err := a.Call("priceOf", []int64{int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 100 {
+			t.Fatalf("record %d price %d below floor", i, p)
+		}
+		k, err := a.Call("tickerOf", []int64{int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k < 0 || k >= int64(cfg.Tickers) {
+			t.Fatalf("record %d ticker %d out of range", i, k)
+		}
+		if _, err := a.Call("volumeOf", []int64{int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -147,6 +147,11 @@ type Options struct {
 	// NoPrefilter disables admission pre-filter synthesis for consolidated
 	// passes; records then always run the full merged program.
 	NoPrefilter bool
+	// NoHomAgg disables the homomorphic partial/combine path of windowed
+	// aggregation passes: groups then run window-at-a-time, never splitting a
+	// window across workers. Outputs are byte-identical either way — the knob
+	// exists for differential testing and for measuring the split's benefit.
+	NoHomAgg bool
 	// PrefilterCache, when set, backs the SMT queries of guard synthesis so
 	// repeated consolidations share validity verdicts.
 	PrefilterCache *smt.Cache

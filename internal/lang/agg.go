@@ -1,0 +1,188 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file extends the Figure 1 language with windowed user-defined
+// aggregations (ROADMAP item 4): an aggregation program folds an
+// accumulator set over a bounded window of records and broadcasts its
+// notifications when the window closes, instead of once per record.
+//
+// The concrete syntax is
+//
+//	agg hot(r) window 4 by cityOf {
+//	  acc n = 0;
+//	  acc hi = -9999;
+//	  fold {
+//	    t := tempObs(r);
+//	    if (hi < t) { hi := t; }
+//	    n := n + 1;
+//	  }
+//	  emit {
+//	    notify 0 (hi > 30);
+//	  }
+//	}
+//
+// `window k` groups the stream into tumbling windows of k records; the
+// optional `by f` partitions the stream by the value of library function f
+// on each record before windowing (per-key tumbling windows). The fold
+// statement runs once per record with the record parameter and the current
+// accumulator values in scope; the emit statement runs once per closed
+// window with only the accumulators in scope and carries the program's
+// notifications. Both statements reuse the unchanged Figure 1 statement
+// grammar, so they lower through Compile into the bytecode VM and price
+// under the Figure 2 cost semantics with no new opcodes.
+
+// WindowSpec describes how a stream is grouped into windows.
+type WindowSpec struct {
+	// Size is the window length in records; at least 1.
+	Size int
+	// KeyFunc, when non-empty, names the unary library function whose value
+	// partitions the stream before windowing. Empty means count-based
+	// windows over the whole stream.
+	KeyFunc string
+}
+
+func (w WindowSpec) String() string {
+	if w.KeyFunc == "" {
+		return fmt.Sprintf("window %d", w.Size)
+	}
+	return fmt.Sprintf("window %d by %s", w.Size, w.KeyFunc)
+}
+
+// AccDecl declares one accumulator and its initial value at window open.
+type AccDecl struct {
+	Name string
+	Init int64
+}
+
+// AggProgram is a windowed aggregation UDF: per-record fold over declared
+// accumulators, notification emit at window close.
+type AggProgram struct {
+	Name   string
+	Param  string // the record parameter, in scope in Fold only
+	Window WindowSpec
+	Accs   []AccDecl
+	Fold   Stmt
+	Emit   Stmt
+}
+
+// AccNames returns the declared accumulator names in declaration order.
+func (a *AggProgram) AccNames() []string {
+	out := make([]string, len(a.Accs))
+	for i, d := range a.Accs {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// EmitIDs returns the notification identifiers of the emit statement in
+// ascending order — the aggregation's output columns.
+func (a *AggProgram) EmitIDs() []int {
+	set := NotifyIDs(a.Emit)
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CheckAgg validates the static well-formedness rules of an aggregation:
+//
+//   - the window size is at least 1;
+//   - at least one accumulator is declared, names are distinct and differ
+//     from the record parameter;
+//   - the fold never notifies (notifications belong to window close) and
+//     never assigns the record parameter;
+//   - the emit calls no library functions (no record is selected at window
+//     close), assigns no accumulator, and notifies at least one id.
+func CheckAgg(a *AggProgram) error {
+	if a.Window.Size < 1 {
+		return fmt.Errorf("lang: agg %s: window size must be at least 1, have %d", a.Name, a.Window.Size)
+	}
+	if len(a.Accs) == 0 {
+		return fmt.Errorf("lang: agg %s declares no accumulators", a.Name)
+	}
+	seen := map[string]bool{a.Param: true}
+	for _, d := range a.Accs {
+		if d.Name == a.Param {
+			return fmt.Errorf("lang: agg %s: accumulator %q shadows the record parameter", a.Name, d.Name)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("lang: agg %s: duplicate accumulator %q", a.Name, d.Name)
+		}
+		seen[d.Name] = true
+	}
+	if ids := NotifyIDs(a.Fold); len(ids) > 0 {
+		return fmt.Errorf("lang: agg %s: fold must not notify (notifications are emitted at window close)", a.Name)
+	}
+	if AssignedVars(a.Fold)[a.Param] {
+		return fmt.Errorf("lang: agg %s: fold must not assign the record parameter %q", a.Name, a.Param)
+	}
+	if fns := CalledFuncs(a.Emit); len(fns) > 0 {
+		for f := range fns {
+			return fmt.Errorf("lang: agg %s: emit must not call library functions (no record at window close), calls %q", a.Name, f)
+		}
+	}
+	assigned := AssignedVars(a.Emit)
+	for _, d := range a.Accs {
+		if assigned[d.Name] {
+			return fmt.Errorf("lang: agg %s: emit must not assign accumulator %q", a.Name, d.Name)
+		}
+	}
+	if len(NotifyIDs(a.Emit)) == 0 {
+		return fmt.Errorf("lang: agg %s: emit must notify at least one id", a.Name)
+	}
+	return nil
+}
+
+// FoldProgram lowers the fold into an ordinary Figure 1 program whose
+// parameters are the record handle followed by the accumulators in
+// declaration order. The engine passes the current accumulator values as
+// arguments and reads the updated values back out of the runner's slots,
+// so one compiled program serves every window.
+func (a *AggProgram) FoldProgram() *Program {
+	params := make([]string, 0, len(a.Accs)+1)
+	params = append(params, a.Param)
+	params = append(params, a.AccNames()...)
+	return &Program{Name: a.Name + ".fold", Params: params, Body: a.Fold}
+}
+
+// EmitProgram lowers the emit into an ordinary program parameterised by the
+// accumulators in declaration order.
+func (a *AggProgram) EmitProgram() *Program {
+	return &Program{Name: a.Name + ".emit", Params: a.AccNames(), Body: a.Emit}
+}
+
+// FormatAgg renders an aggregation program; the output re-parses to an
+// equal AST.
+func FormatAgg(a *AggProgram) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "agg %s(%s) %s {\n", a.Name, a.Param, a.Window)
+	for _, d := range a.Accs {
+		fmt.Fprintf(&b, "  acc %s = %d;\n", d.Name, d.Init)
+	}
+	b.WriteString("  fold {\n")
+	formatStmt(&b, a.Fold, 2)
+	b.WriteString("  }\n  emit {\n")
+	formatStmt(&b, a.Emit, 2)
+	b.WriteString("  }\n}\n")
+	return b.String()
+}
+
+// EqualAgg reports structural equality of aggregation programs.
+func EqualAgg(a, b *AggProgram) bool {
+	if a.Name != b.Name || a.Param != b.Param || a.Window != b.Window || len(a.Accs) != len(b.Accs) {
+		return false
+	}
+	for i := range a.Accs {
+		if a.Accs[i] != b.Accs[i] {
+			return false
+		}
+	}
+	return EqualStmt(a.Fold, b.Fold) && EqualStmt(a.Emit, b.Emit)
+}

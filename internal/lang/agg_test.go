@@ -1,0 +1,268 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const aggSrc = `
+agg hot(r) window 4 by cityOf {
+  acc n = 0;
+  acc hi = -9999;
+  fold {
+    t := tempObs(r);
+    if (hi < t) { hi := t; }
+    n := n + 1;
+  }
+  emit {
+    notify 0 (hi > 30);
+    notify 1 (n < 4);
+  }
+}
+`
+
+func TestParseAggRoundTrip(t *testing.T) {
+	a, err := ParseAgg(aggSrc)
+	if err != nil {
+		t.Fatalf("ParseAgg: %v", err)
+	}
+	if a.Name != "hot" || a.Param != "r" {
+		t.Fatalf("header = %q(%q)", a.Name, a.Param)
+	}
+	if a.Window != (WindowSpec{Size: 4, KeyFunc: "cityOf"}) {
+		t.Fatalf("window = %+v", a.Window)
+	}
+	if len(a.Accs) != 2 || a.Accs[0] != (AccDecl{"n", 0}) || a.Accs[1] != (AccDecl{"hi", -9999}) {
+		t.Fatalf("accs = %+v", a.Accs)
+	}
+	if ids := a.EmitIDs(); len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("emit ids = %v", ids)
+	}
+	b, err := ParseAgg(FormatAgg(a))
+	if err != nil {
+		t.Fatalf("re-parse of FormatAgg output: %v\n%s", err, FormatAgg(a))
+	}
+	if !EqualAgg(a, b) {
+		t.Fatalf("round trip changed the AST:\n%s\nvs\n%s", FormatAgg(a), FormatAgg(b))
+	}
+}
+
+func TestParseAggsSequence(t *testing.T) {
+	src := aggSrc + `
+agg counts(r) window 2 {
+  acc c = 0;
+  fold { c := c + 1; }
+  emit { notify 0 (c == 2); }
+}
+`
+	aggs, err := ParseAggs(src)
+	if err != nil {
+		t.Fatalf("ParseAggs: %v", err)
+	}
+	if len(aggs) != 2 || aggs[1].Window.KeyFunc != "" || aggs[1].Window.Size != 2 {
+		t.Fatalf("parsed %d aggs, second window %+v", len(aggs), aggs[1].Window)
+	}
+}
+
+func TestCheckAggRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"zero window", `agg a(r) window 0 { acc x = 0; fold { x := x + 1; } emit { notify 0 (x > 0); } }`, "window size"},
+		{"no accs", `agg a(r) window 2 { fold { skip; } emit { notify 0 true; } }`, "no accumulators"},
+		{"dup acc", `agg a(r) window 2 { acc x = 0; acc x = 1; fold { x := x + 1; } emit { notify 0 (x > 0); } }`, "duplicate accumulator"},
+		{"acc shadows param", `agg a(r) window 2 { acc r = 0; fold { skip; } emit { notify 0 (r > 0); } }`, "shadows the record parameter"},
+		{"fold notifies", `agg a(r) window 2 { acc x = 0; fold { notify 0 true; } emit { notify 0 (x > 0); } }`, "fold must not notify"},
+		{"fold assigns param", `agg a(r) window 2 { acc x = 0; fold { r := 1; } emit { notify 0 (x > 0); } }`, "must not assign the record parameter"},
+		{"emit calls", `agg a(r) window 2 { acc x = 0; fold { x := x + 1; } emit { notify 0 (f(x) > 0); } }`, "emit must not call"},
+		{"emit assigns acc", `agg a(r) window 2 { acc x = 0; fold { x := x + 1; } emit { x := 0; notify 0 (x > 0); } }`, "emit must not assign accumulator"},
+		{"emit silent", `agg a(r) window 2 { acc x = 0; fold { x := x + 1; } emit { skip; } }`, "notify at least one"},
+	}
+	for _, c := range cases {
+		if _, err := ParseAgg(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestAggTruncatedErrorPositions is the regression test for parser error
+// positions on multi-token constructs: a program cut off mid-construct
+// must report the construct's start offset, not the EOF offset (mirroring
+// the peek-at-EOF fix the predicate parser got earlier).
+func TestAggTruncatedErrorPositions(t *testing.T) {
+	full := strings.TrimSpace(aggSrc)
+	cuts := []struct {
+		at   string // truncate just after the first occurrence
+		want string // substring of the expected construct-start token
+	}{
+		{"fold {", "fold"},
+		{"t := tempObs(r", "fold"},
+		{"if (hi < t) { hi := t", "if"},
+		{"emit {", "emit"},
+		{"notify 0 (hi", "emit"},
+		{"acc n = ", "acc"},
+		{"window", "agg"},
+	}
+	for _, c := range cuts {
+		i := strings.Index(full, c.at)
+		if i < 0 {
+			t.Fatalf("cut marker %q not in source", c.at)
+		}
+		src := full[:i+len(c.at)]
+		_, err := ParseAgg(src)
+		if err == nil {
+			t.Errorf("truncated at %q: expected a parse error", c.at)
+			continue
+		}
+		wantOff := strings.Index(src, c.want)
+		if c.want == "if" { // the if lives inside fold; find it, not a prefix match
+			wantOff = strings.Index(src, "if (")
+		}
+		wantMsg := fmt.Sprintf("offset %d", wantOff)
+		if !strings.Contains(err.Error(), wantMsg) {
+			t.Errorf("truncated at %q: error %q does not report construct start %s", c.at, err, wantMsg)
+		}
+		if strings.Contains(err.Error(), fmt.Sprintf("offset %d:", len(src))) {
+			t.Errorf("truncated at %q: error %q reports EOF offset", c.at, err)
+		}
+	}
+}
+
+// TestFuncTruncatedErrorPosition checks the same fix applies to ordinary
+// programs: a truncated func body blames the func, not the EOF.
+func TestFuncTruncatedErrorPosition(t *testing.T) {
+	src := "// header comment\nfunc f(x) { if (x > 1) { y := x +"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	ifOff := strings.Index(src, "if")
+	if !strings.Contains(err.Error(), fmt.Sprintf("offset %d", ifOff)) {
+		t.Errorf("error %q does not report the if construct start (offset %d)", err, ifOff)
+	}
+}
+
+func aggTestLib() *MapLibrary {
+	lib := &MapLibrary{}
+	lib.Define("val", 7, func(args []int64) (int64, error) { return args[0] * 2, nil })
+	return lib
+}
+
+// TestFoldEmitCompileRun drives a compiled fold record by record through
+// the VM, reading updated accumulators back through SlotIndex/SlotAt, then
+// runs the emit over the final accumulator values — exactly the engine's
+// per-window protocol.
+func TestFoldEmitCompileRun(t *testing.T) {
+	a := MustParseAgg(`
+agg m(r) window 3 {
+  acc s = 0;
+  acc mx = -100;
+  fold {
+    v := val(r);
+    s := s + v;
+    if (mx < v) { mx := v; }
+  }
+  emit {
+    notify 0 (s > 5);
+    notify 1 (mx > 3);
+  }
+}`)
+	fold, emit := a.FoldProgram(), a.EmitProgram()
+	fc, err := Compile(fold)
+	if err != nil {
+		t.Fatalf("compile fold: %v", err)
+	}
+	ec, err := Compile(emit)
+	if err != nil {
+		t.Fatalf("compile emit: %v", err)
+	}
+	lib := aggTestLib()
+	frn := NewRunner(fc, lib)
+	ern := NewRunner(ec, lib)
+	slots := make([]int, len(a.Accs))
+	for i, name := range a.AccNames() {
+		s, ok := fc.SlotIndex(name)
+		if !ok {
+			t.Fatalf("fold has no slot for accumulator %q", name)
+		}
+		slots[i] = s
+	}
+	accs := []int64{a.Accs[0].Init, a.Accs[1].Init}
+	args := make([]int64, 3)
+	for rec := int64(0); rec < 3; rec++ {
+		args[0], args[1], args[2] = rec, accs[0], accs[1]
+		if _, err := frn.RunDense(args); err != nil {
+			t.Fatalf("fold on record %d: %v", rec, err)
+		}
+		for i, s := range slots {
+			v, ok := frn.SlotAt(s)
+			if !ok {
+				t.Fatalf("accumulator slot %d unbound after fold", s)
+			}
+			accs[i] = v
+		}
+	}
+	// records 0,1,2 → vals 0,2,4: s = 6, mx = 4.
+	if accs[0] != 6 || accs[1] != 4 {
+		t.Fatalf("accs after window = %v, want [6 4]", accs)
+	}
+	if _, err := ern.RunDense(accs); err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	for id, want := range map[int]bool{0: true, 1: true} {
+		k, ok := ec.NoteIndex(id)
+		if !ok {
+			t.Fatalf("emit has no note slot for id %d", id)
+		}
+		v, notified := ern.NoteAt(k)
+		if !notified || v != want {
+			t.Fatalf("emit note %d = %v,%v, want %v", id, v, notified, want)
+		}
+	}
+}
+
+// TestFoldSteadyStateZeroAlloc pins the per-record fold step — RunDense
+// plus the accumulator read-back — at zero allocations, the same
+// steady-state contract the predicate hot path has.
+func TestFoldSteadyStateZeroAlloc(t *testing.T) {
+	a := MustParseAgg(`
+agg m(r) window 3 {
+  acc s = 0;
+  fold { s := s + val(r); }
+  emit { notify 0 (s > 5); }
+}`)
+	fc, err := Compile(a.FoldProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := aggTestLib()
+	frn := NewRunner(fc, lib)
+	slot, ok := fc.SlotIndex("s")
+	if !ok {
+		t.Fatal("no slot for s")
+	}
+	args := make([]int64, 2)
+	var acc int64
+	// Warm up once so lazy growth is done before measuring.
+	args[0], args[1] = 0, acc
+	if _, err := frn.RunDense(args); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		args[0], args[1] = 1, acc
+		if _, err := frn.RunDense(args); err != nil {
+			panic(err)
+		}
+		v, ok := frn.SlotAt(slot)
+		if !ok {
+			panic("unbound acc")
+		}
+		acc = v
+	})
+	if allocs != 0 {
+		t.Fatalf("fold steady state allocates %.1f per record, want 0", allocs)
+	}
+}

@@ -166,6 +166,15 @@ func (c *Compiled) NoteIndex(id int) (int, bool) {
 // by dense note slot.
 func (c *Compiled) NoteIDs() []int { return c.noteIDs }
 
+// SlotIndex returns the frame slot holding the named parameter or local,
+// if the compiled program mentions it. Parameters occupy slots 0..k-1 in
+// declaration order; the aggregation engine uses the lookup to read
+// updated accumulator values back out of a fold run.
+func (c *Compiled) SlotIndex(name string) (int, bool) {
+	s, ok := c.slotOf[name]
+	return s, ok
+}
+
 // SlotName returns the variable name bound to a frame slot (diagnostics).
 func (c *Compiled) SlotName(slot int) string {
 	if slot >= 0 && slot < len(c.nameOf) {

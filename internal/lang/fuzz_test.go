@@ -78,3 +78,67 @@ func TestParserRoundTripCorpus(t *testing.T) {
 		roundTrip(t, src)
 	}
 }
+
+// aggCorpus loads the windowed-aggregation seed corpus: one aggregation
+// source per .agg file under testdata/corpus.
+func aggCorpus(tb testing.TB) []string {
+	files, err := filepath.Glob("testdata/corpus/*.agg")
+	if err != nil || len(files) == 0 {
+		tb.Fatalf("no aggregation seed corpus under testdata/corpus: %v", err)
+	}
+	out := make([]string, len(files))
+	for i, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[i] = string(src)
+	}
+	return out
+}
+
+// aggRoundTrip asserts the aggregation parser/printer fixpoint on one
+// source, mirroring roundTrip for the agg declaration grammar (window
+// specs, accumulator declarations, fold and emit blocks).
+func aggRoundTrip(t *testing.T, src string) {
+	a, err := ParseAgg(src)
+	if err != nil {
+		return // invalid inputs are fine; only accepted ones must round-trip
+	}
+	text := FormatAgg(a)
+	b, err := ParseAgg(text)
+	if err != nil {
+		t.Fatalf("formatted aggregation does not re-parse: %v\nsource:\n%s\nformatted:\n%s", err, src, text)
+	}
+	if !EqualAgg(a, b) {
+		t.Fatalf("round-trip changed the aggregation:\nsource:\n%s\nfirst:\n%s\nsecond:\n%s", src, text, FormatAgg(b))
+	}
+	if again := FormatAgg(b); again != text {
+		t.Fatalf("FormatAgg is not idempotent:\nfirst:\n%s\nsecond:\n%s", text, again)
+	}
+}
+
+// FuzzAggParserRoundTrip fuzzes arbitrary source text through the
+// aggregation grammar's parse → format → parse fixpoint.
+func FuzzAggParserRoundTrip(f *testing.F) {
+	for _, src := range aggCorpus(f) {
+		f.Add(src)
+	}
+	for _, src := range parserCorpus(f) {
+		f.Add(src) // plain-program sources probe the agg parser's rejects
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		aggRoundTrip(t, src)
+	})
+}
+
+// TestAggRoundTripCorpus replays the aggregation seed corpus without the
+// fuzz engine.
+func TestAggRoundTripCorpus(t *testing.T) {
+	for _, src := range aggCorpus(t) {
+		aggRoundTrip(t, src)
+	}
+}

@@ -140,6 +140,12 @@ func lex(src string) []token {
 type parser struct {
 	toks []token
 	pos  int
+	// ctx is the stack of start offsets of the multi-token constructs
+	// (func, agg, if, while, fold, emit) currently being parsed. When a
+	// parse error fires at EOF — truncated input — the EOF offset points at
+	// nothing useful, so errorf reports the innermost unfinished
+	// construct's start instead.
+	ctx []int
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -159,7 +165,18 @@ func (p *parser) save() int     { return p.pos }
 func (p *parser) restore(n int) { p.pos = n }
 
 func (p *parser) errorf(format string, args ...any) error {
+	if p.peek().kind == tokEOF && len(p.ctx) > 0 {
+		return fmt.Errorf("lang: parse error at offset %d (construct truncated by end of input): %s",
+			p.ctx[len(p.ctx)-1], fmt.Sprintf(format, args...))
+	}
 	return fmt.Errorf("lang: parse error at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// pushCtx records the current token's offset as a construct start and
+// returns the matching pop. Call as `defer p.pushCtx()()`.
+func (p *parser) pushCtx() func() {
+	p.ctx = append(p.ctx, p.peek().pos)
+	return func() { p.ctx = p.ctx[:len(p.ctx)-1] }
 }
 
 func (p *parser) expect(text string) error {
@@ -180,6 +197,7 @@ func (p *parser) acceptPunct(text string) bool {
 }
 
 func (p *parser) parseProgram() (*Program, error) {
+	defer p.pushCtx()()
 	if err := p.expect("func"); err != nil {
 		return nil, err
 	}
@@ -246,6 +264,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 		}
 		return Skip{}, nil
 	case t.kind == tokIdent && t.text == "if":
+		defer p.pushCtx()()
 		p.next()
 		cond, err := p.parseBool()
 		if err != nil {
@@ -269,6 +288,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 		}
 		return Cond{Test: cond, Then: then, Else: els}, nil
 	case t.kind == tokIdent && t.text == "while":
+		defer p.pushCtx()()
 		p.next()
 		cond, err := p.parseBool()
 		if err != nil {
@@ -523,6 +543,162 @@ func (p *parser) parseFactor() (IntExpr, error) {
 		return Var{Name: t.text}, nil
 	}
 	return nil, p.errorf("expected integer expression, found %q", t.text)
+}
+
+// ParseAgg parses one windowed aggregation program in the concrete syntax
+// documented on AggProgram, and validates it with CheckAgg:
+//
+//	agg hot(r) window 4 by cityOf {
+//	  acc hi = -9999;
+//	  fold { t := tempObs(r); if (hi < t) { hi := t; } }
+//	  emit { notify 0 (hi > 30); }
+//	}
+func ParseAgg(src string) (*AggProgram, error) {
+	p := &parser{toks: lex(src)}
+	a, err := p.parseAgg()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return a, nil
+}
+
+// ParseAggs parses a sequence of aggregation programs from one source.
+func ParseAggs(src string) ([]*AggProgram, error) {
+	p := &parser{toks: lex(src)}
+	var out []*AggProgram
+	for !p.atEOF() {
+		a, err := p.parseAgg()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// MustParseAgg parses an aggregation program and panics on error.
+func MustParseAgg(src string) *AggProgram {
+	a, err := ParseAgg(src)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (p *parser) parseAgg() (*AggProgram, error) {
+	defer p.pushCtx()()
+	if err := p.expect("agg"); err != nil {
+		return nil, err
+	}
+	name := p.peek()
+	if name.kind != tokIdent {
+		return nil, p.errorf("expected aggregation name, found %q", name.text)
+	}
+	p.next()
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	param := p.peek()
+	if param.kind != tokIdent {
+		return nil, p.errorf("expected record parameter, found %q", param.text)
+	}
+	p.next()
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("window"); err != nil {
+		return nil, err
+	}
+	szTok := p.peek()
+	if szTok.kind != tokNumber {
+		return nil, p.errorf("expected window size, found %q", szTok.text)
+	}
+	p.next()
+	size, err := strconv.Atoi(szTok.text)
+	if err != nil {
+		return nil, p.errorf("bad window size %q", szTok.text)
+	}
+	spec := WindowSpec{Size: size}
+	if t := p.peek(); t.kind == tokIdent && t.text == "by" {
+		p.next()
+		kf := p.peek()
+		if kf.kind != tokIdent {
+			return nil, p.errorf("expected key function name, found %q", kf.text)
+		}
+		p.next()
+		spec.KeyFunc = kf.text
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var accs []AccDecl
+	for p.peek().kind == tokIdent && p.peek().text == "acc" {
+		d, err := p.parseAccDecl()
+		if err != nil {
+			return nil, err
+		}
+		accs = append(accs, d)
+	}
+	fold, err := p.parseNamedBlock("fold")
+	if err != nil {
+		return nil, err
+	}
+	emit, err := p.parseNamedBlock("emit")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	a := &AggProgram{Name: name.text, Param: param.text, Window: spec, Accs: accs, Fold: fold, Emit: emit}
+	if err := CheckAgg(a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (p *parser) parseAccDecl() (AccDecl, error) {
+	defer p.pushCtx()()
+	if err := p.expect("acc"); err != nil {
+		return AccDecl{}, err
+	}
+	nameTok := p.peek()
+	if nameTok.kind != tokIdent {
+		return AccDecl{}, p.errorf("expected accumulator name, found %q", nameTok.text)
+	}
+	p.next()
+	if err := p.expect("="); err != nil {
+		return AccDecl{}, err
+	}
+	neg := p.acceptPunct("-")
+	vTok := p.peek()
+	if vTok.kind != tokNumber {
+		return AccDecl{}, p.errorf("expected accumulator initial value, found %q", vTok.text)
+	}
+	p.next()
+	v, err := strconv.ParseInt(vTok.text, 10, 64)
+	if err != nil {
+		return AccDecl{}, p.errorf("bad accumulator initial value %q", vTok.text)
+	}
+	if neg {
+		v = -v
+	}
+	if err := p.expect(";"); err != nil {
+		return AccDecl{}, err
+	}
+	return AccDecl{Name: nameTok.text, Init: v}, nil
+}
+
+// parseNamedBlock parses `kw { stmts }` (the fold and emit sections).
+func (p *parser) parseNamedBlock(kw string) (Stmt, error) {
+	defer p.pushCtx()()
+	if err := p.expect(kw); err != nil {
+		return nil, err
+	}
+	return p.parseBlock()
 }
 
 // Format renders a program with indentation; the output re-parses to an

@@ -290,6 +290,18 @@ func (r *Runner) NoteCostAt(k int) int64 {
 	return r.noteCost[k]
 }
 
+// SlotAt returns the value of frame slot s after the last run, and whether
+// the run bound it. Combined with Compiled.SlotIndex it lets the
+// aggregation engine read updated accumulator values out of a fold run
+// without allocating: parameters are always bound, so accumulator slots
+// resolve unconditionally.
+func (r *Runner) SlotAt(s int) (int64, bool) {
+	if s < 0 || s >= len(r.slots) || r.slotGen[s] != r.gen {
+		return 0, false
+	}
+	return r.slots[s], true
+}
+
 // Note reports the value broadcast for notification id this run; the
 // id→slot lookup makes it the convenience form of NoteAt.
 func (r *Runner) Note(id int) (value, notified bool) {

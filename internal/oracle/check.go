@@ -49,6 +49,11 @@ const (
 	// admission counts, latency stamp sums, or selectivities at some
 	// Workers/BatchSize combination.
 	CheckBatch = "batch-parity"
+	// CheckAggParity: the merged windowed-aggregation execution diverged
+	// from the per-aggregation serial replay — different emitted verdicts,
+	// window counts, or partition keys at some Workers/BatchSize
+	// combination, on the split or unsplit path.
+	CheckAggParity = "aggregate"
 	// CheckPrefilterSound: a synthesized admission guard filtered a record
 	// the consolidated program notifies on, or a notify-path condition
 	// failed to imply the guard — the pre-filter lost a notification.

@@ -31,6 +31,9 @@ func FuzzConsolidateEquivalence(f *testing.F) {
 		if fail := CheckSharded(b, 2); fail != nil {
 			t.Fatal(fail)
 		}
+		if fail := CheckAggregate(GenAggCase(seed)); fail != nil {
+			t.Fatal(fail)
+		}
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"consolidation/internal/engine"
 	"consolidation/internal/lang"
 )
 
@@ -130,6 +131,9 @@ func TestOracleCorpus(t *testing.T) {
 		if f := CheckBatchParity(b); f != nil {
 			t.Fatal(f)
 		}
+		if f := CheckAggregate(GenAggCase(seed)); f != nil {
+			t.Fatal(f)
+		}
 		if i%4 == 0 {
 			rb := Generate(seed, registryGenOptions(opts))
 			if f := CheckRegistry(rb, 5); f != nil {
@@ -227,5 +231,33 @@ func TestShrinkLeavesCleanBatchesAlone(t *testing.T) {
 	f := &Failure{Check: CheckSMTSound, Seed: 3, Formula: "x < x"}
 	if g := Shrink(f, 10); g != f {
 		t.Fatal("Shrink rewrote an smt failure it cannot shrink")
+	}
+}
+
+// TestGeneratedAggCasesWellFormed sweeps the aggregation generator: cases
+// are deterministic, every generated aggregation passes CheckAgg and
+// round-trips through the pretty-printer, and the serial replay runs to
+// completion over every record.
+func TestGeneratedAggCasesWellFormed(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		a, b := GenAggCase(seed), GenAggCase(seed)
+		if a.Sources() != b.Sources() || len(a.Inputs) != len(b.Inputs) {
+			t.Fatalf("seed %d: same seed, different cases", seed)
+		}
+		for _, g := range a.Aggs {
+			if err := lang.CheckAgg(g); err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, g.Name, err)
+			}
+			q, err := lang.ParseAgg(lang.FormatAgg(g))
+			if err != nil {
+				t.Fatalf("seed %d: %s does not re-parse: %v", seed, g.Name, err)
+			}
+			if !lang.EqualAgg(g, q) {
+				t.Fatalf("seed %d: %s round-trip changed the program", seed, g.Name)
+			}
+		}
+		if _, err := engine.AggregateMany(newInputLibrary(a.Inputs), a.Aggs, engine.Options{}); err != nil {
+			t.Fatalf("seed %d: serial replay: %v", seed, err)
+		}
 	}
 }

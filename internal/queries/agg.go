@@ -1,0 +1,105 @@
+package queries
+
+import (
+	"fmt"
+	"math/rand"
+
+	"consolidation/internal/lang"
+)
+
+// Windowed aggregation families for the streaming datasets. Every
+// generated aggregation in a call shares the same window spec, so the
+// whole batch merges into one shared traversal; members differ in which
+// accumulator shapes they fold (sum / max / min / guarded count) and in
+// their emit thresholds, all over the same expensive observation
+// accessors — the sharing the consolidation calculus recovers.
+
+// AggKeyFunc returns the key-extraction function of a streaming domain.
+func AggKeyFunc(domain string) (string, error) {
+	switch domain {
+	case "weather":
+		return "cityOf", nil
+	case "stock":
+		return "tickerOf", nil
+	}
+	return "", fmt.Errorf("queries: no streaming aggregation domain %q", domain)
+}
+
+// GenAgg produces n windowed aggregations for the given streaming domain
+// ("weather" over GenWeatherStream, "stock" over GenStockTicks), all with
+// window size `window`; `keyed` partitions the window by the domain's key
+// function. Programs are named "<domain>_agg_<i>".
+func GenAgg(domain string, n, window int, keyed bool, seed int64) ([]*lang.AggProgram, error) {
+	var field1, field2 string
+	switch domain {
+	case "weather":
+		field1, field2 = "tempObs", "rainObs"
+	case "stock":
+		field1, field2 = "priceOf", "volumeOf"
+	default:
+		return nil, fmt.Errorf("queries: no streaming aggregation domain %q", domain)
+	}
+	spec := fmt.Sprintf("window %d", window)
+	if keyed {
+		key, err := AggKeyFunc(domain)
+		if err != nil {
+			return nil, err
+		}
+		spec += " by " + key
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*lang.AggProgram, n)
+	for i := 0; i < n; i++ {
+		src := genOneAgg(rng, fmt.Sprintf("%s_agg_%d", domain, i), spec, field1, field2)
+		a, err := lang.ParseAgg(src)
+		if err != nil {
+			return nil, fmt.Errorf("queries: generated aggregation does not parse: %w\n%s", err, src)
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// MustGenAgg is GenAgg for tests, examples, and benchmarks.
+func MustGenAgg(domain string, n, window int, keyed bool, seed int64) []*lang.AggProgram {
+	aggs, err := GenAgg(domain, n, window, keyed, seed)
+	if err != nil {
+		panic(err)
+	}
+	return aggs
+}
+
+// genOneAgg emits one aggregation source: 1–2 accumulators drawn from the
+// four homomorphic shapes, folding locals bound to the shared accessors.
+func genOneAgg(rng *rand.Rand, name, spec, field1, field2 string) string {
+	nAccs := 1 + rng.Intn(2)
+	var accs, folds, emits string
+	field := field1
+	if rng.Intn(3) == 0 {
+		field = field2
+	}
+	for a := 0; a < nAccs; a++ {
+		acc := fmt.Sprintf("a%d", a)
+		thr := rng.Intn(30) - 5
+		switch rng.Intn(4) {
+		case 0: // running sum
+			accs += fmt.Sprintf("  acc %s = 0;\n", acc)
+			folds += fmt.Sprintf("    %s := %s + x;\n", acc, acc)
+			emits += fmt.Sprintf("  notify %d (%s > %d);\n", a, acc, thr*4)
+		case 1: // running max
+			accs += fmt.Sprintf("  acc %s = -100000;\n", acc)
+			folds += fmt.Sprintf("    if (%s < x) { %s := x; }\n", acc, acc)
+			emits += fmt.Sprintf("  notify %d (%s > %d);\n", a, acc, thr)
+		case 2: // running min
+			accs += fmt.Sprintf("  acc %s = 100000;\n", acc)
+			folds += fmt.Sprintf("    if (x < %s) { %s := x; }\n", acc, acc)
+			emits += fmt.Sprintf("  notify %d (%s < %d);\n", a, acc, thr)
+		default: // guarded count
+			accs += fmt.Sprintf("  acc %s = 0;\n", acc)
+			folds += fmt.Sprintf("    if (x > %d) { %s := %s + 1; }\n", thr, acc, acc)
+			emits += fmt.Sprintf("  notify %d (%s >= 2);\n", a, acc)
+		}
+	}
+	return fmt.Sprintf("agg %s(r) %s {\n%s  fold {\n    x := %s(r);\n%s  }\n  emit {\n%s  }\n}",
+		name, spec, accs, field, folds, emits)
+}
